@@ -1,0 +1,29 @@
+"""E8 — §4(i): the adaptively-unfair congestion control.
+
+Paper: scaling DCQCN's additive-increase step with communication-phase
+progress creates the unfairness side effect automatically for compatible
+jobs, while incompatible jobs "continue to take turns ... and end up
+sharing the bandwidth fairly in steady state".
+"""
+
+from conftest import print_report
+
+from repro.experiments import ablations
+
+
+def test_adaptive_cc(benchmark):
+    """Adaptive CC reaches solo speed for compatible, fair for not."""
+    results = benchmark.pedantic(
+        ablations.adaptive_cc_experiment,
+        kwargs={"n_iterations": 50, "skip": 20},
+        iterations=1,
+        rounds=1,
+    )
+    print_report("S4(i) — adaptively-unfair congestion control",
+                 ablations.adaptive_cc_report(results))
+    by_name = {r.group_name: r for r in results}
+    compatible, incompatible = by_name["group2"], by_name["group1"]
+    # Compatible group: all members materially faster than fair sharing.
+    assert all(s > 1.15 for s in compatible.speedups.values())
+    # Incompatible group: nobody materially hurt vs fair sharing.
+    assert incompatible.worst_regression > 0.97

@@ -1,0 +1,29 @@
+"""E15 — §4(iii)'s caveat: flow scheduling needs synchronized clocks.
+
+Paper: "it is challenging to schedule short transfers at precise times
+without a high-resolution clock synchronization across the cluster."
+This sweep quantifies the claim: per-job clock offsets shift the
+communication windows, and a job that just misses its window stalls for
+most of a unified period.
+"""
+
+from conftest import print_report
+
+from repro.experiments import ablations
+
+
+def test_clock_skew_sensitivity(benchmark):
+    """Zero skew is perfect; any skew costs; large skew costs a lot."""
+    points = benchmark.pedantic(
+        ablations.clock_skew_experiment, iterations=1, rounds=1
+    )
+    print_report(
+        "S4(iii) — flow scheduling vs clock skew",
+        ablations.clock_skew_report(points),
+    )
+    by_skew = {p.skew_ms: p for p in points}
+    assert abs(by_skew[0.0].mean_slowdown - 1.0) < 1e-6
+    assert all(
+        p.mean_slowdown > 1.01 for p in points if p.skew_ms > 0
+    )
+    assert by_skew[20.0].mean_slowdown > 1.2

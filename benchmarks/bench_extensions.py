@@ -1,0 +1,44 @@
+"""E14 — the paper's §5 discussion directions, made concrete.
+
+* Cluster-level compatibility: one rotation per job must satisfy every
+  link it crosses; jobs that never share a link may overlap.
+* GPU multi-tenancy analogue: fractional link demands relax the
+  one-job-per-sector constraint.
+* Hyper-parameter tuning: a small batch change restores compatibility.
+"""
+
+from conftest import print_report
+
+from repro.experiments import extensions
+
+
+def test_cluster_level_compatibility(benchmark):
+    """Infeasible-on-one-link jobs schedule cleanly across a path."""
+    result = benchmark.pedantic(
+        extensions.cluster_level_experiment, iterations=1, rounds=3
+    )
+    print_report("S5 — cluster-level compatibility", result.report())
+    assert not result.single_link_compatible
+    assert result.cluster.compatible
+    assert result.cluster.violated_links == []
+
+
+def test_fractional_demands(benchmark):
+    """Half-rate jobs may overlap; full-rate ones may not."""
+    result = benchmark.pedantic(
+        extensions.multi_tenancy_experiment, iterations=1, rounds=3
+    )
+    print_report("S5 — fractional demands", result.report())
+    assert not result.full_demand_compatible
+    assert result.half_demand_compatible
+
+
+def test_hyperparameter_tuning(benchmark):
+    """A ~10% batch bump turns the VGG19 pair compatible."""
+    result = benchmark.pedantic(
+        extensions.tuning_experiment, iterations=1, rounds=1
+    )
+    print_report("S5 — hyper-parameter tuning", result.report())
+    assert not result.before_compatible
+    assert result.suggestion is not None
+    assert result.suggestion.total_adjustment <= 0.25

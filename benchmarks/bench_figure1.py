@@ -1,0 +1,41 @@
+"""E1 + E2 — Figure 1: the surprising payoff of unfairness.
+
+E1 (Fig. 1b/1c): fine-grained DCQCN, fair (T=125 µs both) vs unfair
+(T=100 µs for J1) bandwidth split on the 50 Gbps bottleneck.
+Paper: ~21/21 Gbps fair, ~30/15 Gbps unfair.
+
+E2 (Fig. 1d): CDF of iteration times over many iterations, fair vs
+2:1-weighted unfair. Paper: both jobs' median iteration time improves
+by 1.23x.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure1
+
+
+def test_figure1_bandwidth(benchmark):
+    """Fig. 1b/1c — DCQCN bandwidth shares under a timer skew."""
+    result = benchmark.pedantic(
+        figure1.bandwidth_experiment,
+        kwargs={"duration": 0.15},
+        iterations=1,
+        rounds=3,
+    )
+    print_report("Figure 1b/1c — DCQCN bandwidth at the bottleneck",
+                 result.table())
+    assert result.unfair_gbps["J1"] > result.unfair_gbps["J2"]
+
+
+def test_figure1_cdf(benchmark):
+    """Fig. 1d — iteration-time CDFs over 1,000 iterations."""
+    result = benchmark.pedantic(
+        figure1.cdf_experiment,
+        kwargs={"n_iterations": 1000},
+        iterations=1,
+        rounds=1,
+    )
+    print_report("Figure 1d — CDF of training iteration times",
+                 result.report())
+    for job in result.run.job_ids:
+        assert result.median_speedup(job) > 1.0

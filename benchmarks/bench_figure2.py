@@ -1,0 +1,27 @@
+"""E3 — Figure 2: link utilization and the sliding effect.
+
+Paper: under fair sharing both VGG19 jobs hold ~50% of the bottleneck in
+every iteration; under unfairness the contention region shrinks each
+iteration until the communication phases interleave (J1's first iteration
+ends at ~0.28 s, J2's at ~0.32 s; their second communication phases start
+at ~0.38 s and ~0.42 s).
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure2
+
+
+def test_figure2_sliding(benchmark):
+    """Fig. 2a/2b — utilization time-series and the time anchors."""
+    result = benchmark.pedantic(
+        figure2.run, kwargs={"n_iterations": 8}, iterations=1, rounds=3
+    )
+    print_report("Figure 2 — fair vs unfair link utilization",
+                 result.report())
+    anchors = result.anchors()
+    assert anchors["J1 first iteration end"] < (
+        anchors["J2 first iteration end"]
+    )
+    overlaps = result.overlap_per_iteration(4)
+    assert overlaps[0] > overlaps[3]

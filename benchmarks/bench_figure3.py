@@ -1,0 +1,21 @@
+"""E4 — Figure 3: the geometric abstraction for VGG16.
+
+Paper: iteration time 255 ms, the first 141 ms pure computation; rolling
+the demand trace around a 255-unit circle lands every iteration's
+communication on the same arc.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure3
+
+
+def test_figure3_circle(benchmark):
+    """Fig. 3 — build the VGG16 circle and verify the roll."""
+    result = benchmark.pedantic(
+        figure3.run, kwargs={"n_iterations": 5}, iterations=1, rounds=5
+    )
+    print_report("Figure 3 — VGG16 on its circle", result.report())
+    assert result.perimeter_ms == 255
+    assert result.comm_arc_ms == (141, 255)
+    assert result.roll_is_consistent()

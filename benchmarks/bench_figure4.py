@@ -1,0 +1,18 @@
+"""E5 — Figure 4: rotate the circles to avoid congestion.
+
+Paper: two equal-period jobs whose communication arcs collide at rotation
+zero become fully compatible after rotating one circle.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure4
+
+
+def test_figure4_rotation(benchmark):
+    """Fig. 4 — collision at zero, zero overlap after rotation."""
+    result = benchmark.pedantic(figure4.run, iterations=1, rounds=5)
+    print_report("Figure 4 — rotation separates the arcs", result.report())
+    assert result.overlap_at_zero > 0
+    assert result.result.compatible
+    assert result.result.overlap_ticks == 0

@@ -1,0 +1,19 @@
+"""E6 — Figure 5: the unified circle for different iteration times.
+
+Paper: jobs of 40 ms and 60 ms live on a circle of perimeter
+LCM(40, 60) = 120 ms, with 3 and 2 communication phases per revolution;
+rotating J1 by 30 degrees (10 ms) makes them fully compatible.
+"""
+
+from conftest import print_report
+
+from repro.experiments import figure5
+
+
+def test_figure5_unified_circle(benchmark):
+    """Fig. 5 — LCM construction and the 30-degree separating rotation."""
+    result = benchmark.pedantic(figure5.run, iterations=1, rounds=5)
+    print_report("Figure 5 — unified circle via LCM", result.report())
+    assert result.unified.perimeter == 120
+    assert result.tiles == {"J1": 3, "J2": 2}
+    assert result.result.compatible

@@ -1,0 +1,64 @@
+"""E10 — §4(iii): precise flow scheduling from rotation angles.
+
+Paper: the solver's rotation angle is a time-shift for each job's
+communication phase; releasing flows only inside the derived windows
+avoids collisions entirely, with no transport-level unfairness at all.
+"""
+
+import pytest
+from conftest import print_report
+
+from repro.analysis.report import ascii_table
+from repro.cc.fair import FairSharing
+from repro.core.compatibility import CompatibilityChecker
+from repro.experiments.common import run_jobs
+from repro.mechanisms.flow_scheduling import FlowSchedule
+from repro.workloads.profiles import EFFECTIVE_BOTTLENECK, table1_groups
+
+
+def _run_flow_scheduling(n_iterations=50, skip=15):
+    group = table1_groups()[4]  # compatible triple
+    specs = group.specs
+    checker = CompatibilityChecker()
+    result = checker.check(specs)
+    schedule = FlowSchedule.from_compatibility(
+        checker.circles(specs), result, checker.ticks_per_second
+    )
+    fair = run_jobs(specs, FairSharing(), n_iterations=n_iterations)
+    gated = run_jobs(
+        specs, FairSharing(), n_iterations=n_iterations,
+        gates=schedule.gates(),
+    )
+    rows = []
+    for spec in specs:
+        rows.append(
+            (
+                spec.job_id,
+                fair.mean_iteration_time(spec.job_id, skip=skip) * 1e3,
+                gated.mean_iteration_time(spec.job_id, skip=skip) * 1e3,
+                spec.solo_iteration_time(EFFECTIVE_BOTTLENECK) * 1e3,
+            )
+        )
+    return result, rows
+
+
+def test_flow_scheduling(benchmark):
+    """Rotation-derived windows keep every job at solo speed."""
+    result, rows = benchmark.pedantic(
+        _run_flow_scheduling, iterations=1, rounds=1
+    )
+    print_report(
+        "S4(iii) — precise flow scheduling from rotations",
+        ascii_table(
+            ["job", "fair ms", "scheduled ms", "solo ms"],
+            [
+                (job, f"{fair:.0f}", f"{sched:.0f}", f"{solo:.0f}")
+                for job, fair, sched, solo in rows
+            ],
+        )
+        + f"\nrotations (ticks): {result.rotations}",
+    )
+    assert result.compatible
+    for job, fair_ms, sched_ms, solo_ms in rows:
+        assert sched_ms == pytest.approx(solo_ms, rel=0.02), job
+        assert sched_ms <= fair_ms + 1e-6, job

@@ -1,0 +1,47 @@
+"""E12 — ablations on the optimization formulation.
+
+(a) Sector-count sensitivity: the paper discretizes the circle into
+sectors "for scalability"; a grid that is too coarse misses feasible
+rotations. (b) Solver comparison: exact DFS vs greedy vs annealing vs
+the discretized grid on instances with known ground truth.
+"""
+
+from conftest import print_report
+
+from repro.analysis.report import ascii_table
+from repro.experiments import ablations
+
+
+def test_sector_sensitivity(benchmark):
+    """How fine must the sector grid be to find a tight packing?"""
+    points = benchmark.pedantic(
+        ablations.sector_sensitivity, iterations=1, rounds=1
+    )
+    print_report(
+        "Sector-count sensitivity (tight 95/100 triple)",
+        ascii_table(
+            ["sectors/job", "found", "residual overlap", "evaluations"],
+            [
+                (p.steps_per_job, "yes" if p.found else "no", p.overlap,
+                 p.evaluations)
+                for p in points
+            ],
+        ),
+    )
+    assert not points[0].found     # coarse grid misses
+    assert points[-1].found        # fine grid finds
+
+
+def test_solver_comparison(benchmark):
+    """Exact vs heuristic solvers on known-ground-truth instances."""
+    runs = benchmark.pedantic(
+        ablations.solver_comparison, iterations=1, rounds=1
+    )
+    print_report("Solver comparison", ablations.solver_report(runs))
+    for run in runs:
+        if run.instance == "overloaded (infeasible)":
+            assert not run.found, run.solver
+        if run.solver == "backtracking" and "feasible" in run.instance and (
+            "infeasible" not in run.instance
+        ):
+            assert run.found, run.instance

@@ -1,0 +1,67 @@
+"""E9 — §4(ii): switch priority queues mimic unfairness.
+
+Paper: assigning each compatible job a *unique* priority lets the switch
+divide bandwidth without any congestion-control change; the values can be
+arbitrary as long as they are unique on the link.
+"""
+
+import pytest
+from conftest import print_report
+
+from repro.cc.fair import FairSharing
+from repro.experiments.common import run_jobs
+from repro.analysis.report import ascii_table
+from repro.mechanisms.priorities import PriorityAssigner
+from repro.workloads.profiles import EFFECTIVE_BOTTLENECK, table1_groups
+
+
+def _run_comparison(n_iterations=50, skip=15):
+    group = table1_groups()[4]  # compatible triple
+    specs = group.specs
+    job_ids = [s.job_id for s in specs]
+    fair = run_jobs(specs, FairSharing(), n_iterations=n_iterations)
+    assignment = PriorityAssigner(n_queues=8).assign(job_ids)
+    prio = run_jobs(specs, assignment.policy(), n_iterations=n_iterations)
+    rows = []
+    for spec in specs:
+        solo_ms = spec.solo_iteration_time(EFFECTIVE_BOTTLENECK) * 1e3
+        fair_ms = fair.mean_iteration_time(spec.job_id, skip=skip) * 1e3
+        prio_ms = prio.mean_iteration_time(spec.job_id, skip=skip) * 1e3
+        rows.append((spec.job_id, fair_ms, prio_ms, solo_ms))
+    return assignment, rows
+
+
+def test_priority_queues(benchmark):
+    """Unique priorities bring every compatible job to solo speed."""
+    assignment, rows = benchmark.pedantic(
+        _run_comparison, iterations=1, rounds=1
+    )
+    print_report(
+        "S4(ii) — per-job switch priorities on a compatible group",
+        ascii_table(
+            ["job", "fair ms", "priorities ms", "solo ms"],
+            [
+                (job, f"{fair:.0f}", f"{prio:.0f}", f"{solo:.0f}")
+                for job, fair, prio, solo in rows
+            ],
+        ),
+    )
+    assert assignment.overflowed == []
+    for job, fair_ms, prio_ms, solo_ms in rows:
+        assert prio_ms <= fair_ms + 1e-6, job
+        assert prio_ms == pytest.approx(solo_ms, rel=0.02), job
+
+
+def test_priority_queue_budget(benchmark):
+    """The paper's caveat: too many jobs for the hardware queues."""
+    def assign_many():
+        return PriorityAssigner(n_queues=4).assign(
+            [f"job{i}" for i in range(7)]
+        )
+
+    assignment = benchmark.pedantic(assign_many, iterations=1, rounds=10)
+    print_report(
+        "S4(ii) — queue-budget overflow",
+        f"7 jobs on 4 queues: overflowed = {assignment.overflowed}",
+    )
+    assert len(assignment.overflowed) == 4

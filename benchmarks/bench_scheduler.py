@@ -1,0 +1,55 @@
+"""E11 — §4/§5: compatibility-aware placement vs locality-only.
+
+Paper: "the problem of job placement should be related not only to
+available resources on servers but also to compatibility on links". A new
+job spilling across racks lands next to a compatible resident under the
+compatibility-aware policy and next to an incompatible one under
+locality-only consolidation.
+"""
+
+import pytest
+from conftest import print_report
+
+from repro.experiments import scheduler_exp
+
+
+def test_placement_policies(benchmark):
+    """Compatibility-aware placement keeps every job at solo speed."""
+    outcomes = benchmark.pedantic(
+        scheduler_exp.run_policies,
+        kwargs={"n_iterations": 50},
+        iterations=1,
+        rounds=1,
+    )
+    print_report(
+        "S4 placement — compatibility-aware vs locality-only",
+        scheduler_exp.report(outcomes),
+    )
+    by_name = {o.policy_name: o for o in outcomes}
+    compat = by_name["compatibility-aware"]
+    assert compat.mixed_links == 0
+    assert compat.mean_slowdown == pytest.approx(1.0, abs=0.02)
+    for name, outcome in by_name.items():
+        assert compat.mean_slowdown <= outcome.mean_slowdown + 1e-9, name
+
+
+def test_placement_policies_at_scale(benchmark):
+    """Seven jobs on ten racks: the ordering survives at scale."""
+    outcomes = benchmark.pedantic(
+        scheduler_exp.run_large_scale,
+        kwargs={"n_iterations": 40},
+        iterations=1,
+        rounds=1,
+    )
+    print_report(
+        "S4 placement at scale — 7 jobs on 10 racks",
+        scheduler_exp.report(outcomes),
+    )
+    by_name = {o.policy_name: o for o in outcomes}
+    compat = by_name["compatibility-aware"]
+    assert compat.mixed_links == 0
+    assert compat.mean_slowdown == pytest.approx(1.0, abs=0.02)
+    assert by_name["random"].mean_slowdown > 1.2
+    assert compat.mean_slowdown <= (
+        by_name["consolidated"].mean_slowdown + 1e-9
+    )

@@ -1,0 +1,41 @@
+"""E16 — population sweep: when does compatibility-aware sharing matter?
+
+Random equal-period pairs are always fully compatible below a 50%
+communication fraction — with an unfairness payoff of roughly ``1 + f`` —
+and never above it; mixed-period pairs are almost never fully compatible
+(the gcd constraint), which quantifies why the paper's §5 suggests the
+scheduler adjust hyper-parameters (i.e. align iteration times).
+"""
+
+from conftest import print_report
+
+from repro.experiments import sweep
+
+
+def test_population_sweep(benchmark):
+    """Compatibility collapses at the 50% comm-fraction threshold."""
+    points = benchmark.pedantic(
+        sweep.run,
+        kwargs={"pairs_per_point": 40},
+        iterations=1,
+        rounds=1,
+    )
+    print_report("Population sweep (equal periods)", sweep.report(points))
+    by_fraction = {p.comm_fraction: p for p in points}
+    assert by_fraction[0.3].compatible_rate == 1.0
+    assert by_fraction[0.7].compatible_rate == 0.0
+    # Payoff scales with the communication fraction.
+    assert by_fraction[0.45].mean_speedup > by_fraction[0.2].mean_speedup
+
+
+def test_mixed_periods_rarely_fully_compatible(benchmark):
+    """Unequal periods almost never mesh exactly — tune them instead."""
+    points = benchmark.pedantic(
+        sweep.run,
+        kwargs={"pairs_per_point": 40, "same_period": False},
+        iterations=1,
+        rounds=1,
+    )
+    print_report("Population sweep (mixed periods)", sweep.report(points))
+    rates = [p.compatible_rate for p in points]
+    assert max(rates) <= 0.2

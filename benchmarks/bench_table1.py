@@ -1,0 +1,32 @@
+"""E7 — Table 1: fair vs unfair iteration times for five job groups.
+
+Paper: groups 2 (DLRM pair), 4 (WideResNet + VGG16) and 5 (VGG19 + VGG16 +
+ResNet50) are fully compatible — unfairness speeds up every member
+(1.28-1.3x, 1.07-1.08x, 1.01-1.18x). Groups 1 and 3 are incompatible —
+unfairness helps the aggressive job but hurts a victim (VGG19 0.94x,
+WideResNet 0.92x).
+"""
+
+from conftest import print_report
+
+from repro.experiments import table1
+
+
+def test_table1_all_groups(benchmark):
+    """Table 1 — compatibility verdicts plus fair/unfair simulation."""
+    results = benchmark.pedantic(
+        table1.run_all,
+        kwargs={"n_iterations": 60, "skip": 15},
+        iterations=1,
+        rounds=1,
+    )
+    print_report("Table 1 — unfairness only helps compatible groups",
+                 table1.report(results))
+    for result in results:
+        assert result.verdict_matches_paper, result.group.name
+        if result.group.paper_compatible:
+            assert result.all_members_sped_up, result.group.name
+        else:
+            assert any(r.speedup < 1.0 for r in result.rows), (
+                result.group.name
+            )

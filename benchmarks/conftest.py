@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Each ``bench_*.py`` regenerates one paper artifact (see DESIGN.md's
+per-experiment index): it runs the experiment driver under
+``pytest-benchmark`` and prints the same rows/series the paper reports so
+the output can be compared side-by-side with the paper.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def print_report(title: str, body: str) -> None:
+    """Print an experiment report block (visible with ``-s``)."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""The whole paper in one controller call.
+
+§4's end state: a cluster whose operator (1) places compatible jobs on
+links and (2) deploys a mechanism that creates the unfairness side
+effect. :class:`~repro.mechanisms.controller.CongestionFreeController`
+automates step (2): audit the placed cluster, solve the cluster-level
+rotation problem, hand out flow-scheduling gates when the placement is
+fully compatible, and fall back to the always-safe adaptive policy when
+it is not.
+
+Run:
+    python examples/congestion_free_cluster.py
+"""
+
+from repro import (
+    CompatibilityChecker,
+    ClusterState,
+    ClusterSimulation,
+    JobSpec,
+    Topology,
+    ascii_table,
+    gbps,
+    ms,
+)
+from repro.mechanisms.controller import CongestionFreeController, Mechanism
+
+CAPACITY = gbps(42)
+
+
+def build_cluster(compatible: bool) -> ClusterState:
+    """Two cross-rack jobs sharing an uplink; compatible or not."""
+    topology = Topology.leaf_spine(
+        n_racks=2, hosts_per_rack=2, n_spines=1,
+        host_capacity=CAPACITY, uplink_capacity=CAPACITY,
+    )
+    cluster = ClusterState(topology, gpus_per_host=4)
+    if compatible:
+        specs = [
+            JobSpec("wrn", ms(210), ms(90) * CAPACITY, n_workers=2),
+            JobSpec("vgg16", ms(210), ms(90) * CAPACITY, n_workers=2),
+        ]
+    else:
+        specs = [
+            JobSpec("vgg19-a", ms(100), ms(110) * CAPACITY, n_workers=2),
+            JobSpec("vgg19-b", ms(100), ms(110) * CAPACITY, n_workers=2),
+        ]
+    cluster.place(specs[0], ["h0_0", "h1_0"])
+    cluster.place(specs[1], ["h0_1", "h1_1"])
+    return cluster
+
+
+def main() -> None:
+    controller = CongestionFreeController(
+        checker=CompatibilityChecker(capacity=CAPACITY)
+    )
+    rows = []
+    for label, compatible in (("compatible pair", True),
+                              ("incompatible pair", False)):
+        cluster = build_cluster(compatible)
+        plan = controller.plan(
+            cluster, mechanism=Mechanism.FLOW_SCHEDULING
+        )
+        report = ClusterSimulation(
+            cluster, reference_capacity=CAPACITY
+        ).run(plan.policy, n_iterations=40, gates=plan.gates, stagger=0.0)
+        rows.append(
+            (
+                label,
+                plan.mechanism.value,
+                "yes" if plan.fully_congestion_free else "no",
+                f"{report.mean_slowdown:.3f}",
+                f"{report.max_slowdown:.3f}",
+            )
+        )
+    print(ascii_table(
+        ["cluster", "deployed mechanism", "congestion-free",
+         "mean slowdown", "max slowdown"],
+        rows,
+        title="CongestionFreeController: audit, solve, deploy",
+    ))
+    print()
+    print("The compatible pair gets precise flow scheduling and runs at")
+    print("dedicated-network speed; the incompatible pair gets the safe")
+    print("adaptive fallback, which never does worse than fair sharing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Precise flow scheduling from rotation angles (§4 iii).
+
+Takes a compatible job group, solves for rotations, converts them to
+periodic communication windows, and runs the jobs with admission gates
+that release each communication phase only inside its window — TDMA for
+allreduce. No unfairness anywhere in the transport, yet every job runs at
+dedicated-network speed.
+
+Run:
+    python examples/flow_scheduling_demo.py
+"""
+
+from repro import (
+    CompatibilityChecker,
+    FlowSchedule,
+    ascii_table,
+    gbps,
+)
+from repro.cc.fair import FairSharing
+from repro.experiments.common import run_jobs
+from repro.workloads.profiles import EFFECTIVE_BOTTLENECK, table1_groups
+
+
+def main() -> None:
+    group = table1_groups()[4]  # Table 1 group 5: a compatible triple
+    specs = group.specs
+    checker = CompatibilityChecker()
+
+    verdict = checker.check(specs)
+    print(f"group 5 compatible: {verdict.compatible} "
+          f"(unified period {verdict.unified_perimeter} ms)")
+    for job_id, ticks in verdict.rotations.items():
+        print(f"  {job_id}: time-shift {ticks} ms")
+    print()
+
+    schedule = FlowSchedule.from_compatibility(
+        checker.circles(specs), verdict, checker.ticks_per_second
+    )
+    for job_id, windows in schedule.windows.items():
+        spans = ", ".join(
+            f"[{w.start}, {w.start + w.length}) ms" for w in windows
+        )
+        print(f"  {job_id} may communicate in: {spans}")
+    print()
+
+    fair = run_jobs(specs, FairSharing(), n_iterations=50)
+    gated = run_jobs(
+        specs, FairSharing(), n_iterations=50, gates=schedule.gates()
+    )
+    rows = []
+    for spec in specs:
+        rows.append(
+            (
+                spec.job_id,
+                f"{fair.mean_iteration_time(spec.job_id, skip=15) * 1e3:.0f}",
+                f"{gated.mean_iteration_time(spec.job_id, skip=15) * 1e3:.0f}",
+                f"{spec.solo_iteration_time(EFFECTIVE_BOTTLENECK) * 1e3:.0f}",
+            )
+        )
+    print(ascii_table(
+        ["job", "fair ms", "flow-scheduled ms", "solo ms"],
+        rows,
+        title="Flow scheduling: windows eliminate collisions outright",
+    ))
+
+
+if __name__ == "__main__":
+    main()

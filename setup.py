@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on machines without the
+``wheel`` package (PEP 660 editable installs need it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Measurement and reporting helpers for experiments and benchmarks.
+
+* :mod:`repro.analysis.stats` — iteration-time summaries and speedups.
+* :mod:`repro.analysis.cdf` — empirical CDFs (Figure 1d).
+* :mod:`repro.analysis.timeseries` — sampling piecewise-constant signals
+  (Figure 2's link-utilization plots).
+* :mod:`repro.analysis.report` — ASCII tables and plots so every benchmark
+  prints the same rows/series the paper reports.
+"""
+
+from .stats import IterationStats, summarize, speedup
+from .cdf import empirical_cdf, cdf_at, median_of
+from .timeseries import sample_step, smooth, utilization_series
+from .report import ascii_table, ascii_cdf, ascii_timeline, format_ms
+from .convergence import Convergence, detect_convergence, iterations_to_reach
+from .circleplot import render_unified, render_coverage_band
+from .bootstrap import (
+    ConfidenceInterval,
+    bootstrap_median,
+    bootstrap_median_ratio,
+)
+from .fairness import (
+    jain_index,
+    contention_shares,
+    contention_fraction,
+    efficiency,
+)
+
+__all__ = [
+    "IterationStats",
+    "summarize",
+    "speedup",
+    "empirical_cdf",
+    "cdf_at",
+    "median_of",
+    "sample_step",
+    "smooth",
+    "utilization_series",
+    "ascii_table",
+    "ascii_cdf",
+    "ascii_timeline",
+    "format_ms",
+    "Convergence",
+    "detect_convergence",
+    "iterations_to_reach",
+    "render_unified",
+    "render_coverage_band",
+    "ConfidenceInterval",
+    "bootstrap_median",
+    "bootstrap_median_ratio",
+    "jain_index",
+    "contention_shares",
+    "contention_fraction",
+    "efficiency",
+]

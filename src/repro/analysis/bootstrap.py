@@ -1,0 +1,104 @@
+"""Bootstrap confidence intervals for iteration-time statistics.
+
+Figure 1d's headline is a *median* speedup; a single median from a finite
+run deserves an uncertainty estimate. These helpers bootstrap medians and
+median-ratios (fair over unfair) with a seeded resampler, so benchmark
+reports can state e.g. "median speedup 1.26× (95% CI 1.24–1.28)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] "
+            f"@{self.confidence:.0%}"
+        )
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def _validate(samples: Sequence[float], n_resamples: int,
+              confidence: float) -> np.ndarray:
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise SimulationError("no samples to bootstrap")
+    if n_resamples < 10:
+        raise SimulationError("n_resamples must be >= 10")
+    if not 0.5 < confidence < 1.0:
+        raise SimulationError("confidence must be in (0.5, 1)")
+    return data
+
+
+def bootstrap_median(
+    samples: Sequence[float],
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI for the median of ``samples``."""
+    data = _validate(samples, n_resamples, confidence)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    medians = np.median(data[indices], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(np.median(data)),
+        low=float(np.quantile(medians, alpha)),
+        high=float(np.quantile(medians, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def bootstrap_median_ratio(
+    numerator: Sequence[float],
+    denominator: Sequence[float],
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """CI for ``median(numerator) / median(denominator)``.
+
+    The two sample sets are resampled independently (they come from
+    independent runs — fair and unfair scenarios).
+    """
+    num = _validate(numerator, n_resamples, confidence)
+    den = _validate(denominator, n_resamples, confidence)
+    rng = np.random.default_rng(seed)
+    num_medians = np.median(
+        num[rng.integers(0, num.size, size=(n_resamples, num.size))],
+        axis=1,
+    )
+    den_medians = np.median(
+        den[rng.integers(0, den.size, size=(n_resamples, den.size))],
+        axis=1,
+    )
+    if (den_medians <= 0).any() or np.median(den) <= 0:
+        raise SimulationError("denominator medians must be positive")
+    ratios = num_medians / den_medians
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(np.median(num) / np.median(den)),
+        low=float(np.quantile(ratios, alpha)),
+        high=float(np.quantile(ratios, 1.0 - alpha)),
+        confidence=confidence,
+    )

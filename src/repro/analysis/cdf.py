@@ -1,0 +1,41 @@
+"""Empirical CDFs — the Figure 1d presentation.
+
+The paper plots the CDF of per-iteration times for both jobs under fair
+and unfair sharing and reads the median speedup (1.23x) off the curves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted values, cumulative probabilities)``.
+
+    Probabilities use the ``i/n`` convention so the last point is 1.0.
+    """
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if data.size == 0:
+        raise SimulationError("empirical_cdf of an empty sequence")
+    probs = np.arange(1, data.size + 1) / data.size
+    return data, probs
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of samples less than or equal to ``x``."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise SimulationError("cdf_at of an empty sequence")
+    return float((data <= x).mean())
+
+
+def median_of(values: Sequence[float]) -> float:
+    """Median of the samples (the statistic Figure 1d compares)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise SimulationError("median_of an empty sequence")
+    return float(np.median(data))

@@ -1,0 +1,115 @@
+"""ASCII rendering of the geometric abstraction.
+
+Draws the paper's circle figures in a terminal: each job occupies one
+concentric ring; its communication arcs are filled with the job's symbol
+and compute spans are left faint. Time runs counterclockwise from the
+positive x-axis, as in Figure 3b. Useful in examples and reports to *see*
+why a rotation separates the arcs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.circle import JobCircle
+from ..core.unified import UnifiedCircle
+from ..errors import GeometryError
+
+#: Symbols assigned to jobs, ring by ring.
+_SYMBOLS = "#*@%&+o="
+
+
+def render_unified(
+    circles: Sequence[JobCircle],
+    rotations: Optional[Mapping[str, int]] = None,
+    size: int = 21,
+) -> str:
+    """Render jobs tiled on the unified circle as concentric rings.
+
+    Args:
+        circles: Jobs to draw (outermost ring first).
+        rotations: Optional per-job rotations (the solver's output).
+        size: Grid height in characters (width is doubled for aspect).
+
+    Returns:
+        A multi-line string: the rings plus a legend line per job.
+    """
+    if not circles:
+        raise GeometryError("nothing to render")
+    if size < 7:
+        raise GeometryError("size must be >= 7")
+    unified = UnifiedCircle(circles)
+    tiled = unified.tiled(dict(rotations or {}))
+    perimeter = unified.perimeter
+
+    n = len(circles)
+    center = (size - 1) / 2
+    outer = center
+    ring_width = outer / (n + 1)
+
+    grid: List[List[str]] = [[" "] * (2 * size) for _ in range(size)]
+    for row in range(size):
+        for col in range(2 * size):
+            x = (col / 2) - center
+            y = center - row
+            radius = math.hypot(x, y)
+            ring = None
+            for index in range(n):
+                r_out = outer - index * ring_width
+                r_in = r_out - ring_width * 0.85
+                if r_in <= radius <= r_out:
+                    ring = index
+                    break
+            if ring is None:
+                continue
+            angle = math.atan2(y, x) % (2 * math.pi)
+            tick = int(angle / (2 * math.pi) * perimeter) % perimeter
+            job = circles[ring]
+            if tiled[job.job_id].contains(tick):
+                grid[row][col] = _SYMBOLS[ring % len(_SYMBOLS)]
+            else:
+                grid[row][col] = "."
+    lines = ["".join(row).rstrip() for row in grid]
+    legend = [
+        f"  {_SYMBOLS[i % len(_SYMBOLS)]} = {circle.job_id} "
+        f"(period {circle.perimeter}, comm {circle.comm_ticks}, "
+        f"rotation {dict(rotations or {}).get(circle.job_id, 0)})"
+        for i, circle in enumerate(circles)
+    ]
+    header = f"unified perimeter = {perimeter} ticks"
+    return "\n".join([header] + lines + legend)
+
+
+def render_coverage_band(
+    circles: Sequence[JobCircle],
+    rotations: Optional[Mapping[str, int]] = None,
+    width: int = 72,
+    capacity: int = 1,
+) -> str:
+    """Render the unified circle unrolled as a one-line coverage band.
+
+    Each column is a slice of the circle: ``' '`` idle, digits show how
+    many jobs communicate, ``!`` marks slices above ``capacity`` — a
+    compatible rotation renders with no ``!``.
+    """
+    if width < 8:
+        raise GeometryError("width must be >= 8")
+    unified = UnifiedCircle(circles)
+    segments = unified.coverage(dict(rotations or {}))
+    perimeter = unified.perimeter
+    band = []
+    for column in range(width):
+        lo = column * perimeter / width
+        hi = (column + 1) * perimeter / width
+        worst = 0
+        for start, end, count in segments:
+            if start < hi and end > lo:
+                worst = max(worst, count)
+        if worst == 0:
+            band.append(" ")
+        elif worst <= capacity:
+            band.append(str(worst) if worst < 10 else "+")
+        else:
+            band.append("!")
+    return "|" + "".join(band) + "|"

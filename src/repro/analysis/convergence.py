@@ -1,0 +1,82 @@
+"""Convergence detection for the sliding effect.
+
+Figure 2 shows the sliding effect completing "by the fourth iteration".
+These helpers quantify that: given a job's iteration times, find the
+iteration after which they stabilize, and measure how far the stable
+value sits from a reference (solo or fair) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Convergence:
+    """Outcome of convergence detection on a series.
+
+    Attributes:
+        converged: Whether a stable tail was found.
+        iteration: First iteration index inside the stable tail (None if
+            not converged).
+        steady_value: Mean of the stable tail (None if not converged).
+    """
+
+    converged: bool
+    iteration: Optional[int]
+    steady_value: Optional[float]
+
+
+def detect_convergence(
+    values: Sequence[float],
+    tolerance: float = 0.02,
+    window: int = 4,
+) -> Convergence:
+    """Find the earliest point after which ``values`` stays within a band.
+
+    The series converges at index ``i`` when every later value lies
+    within ``tolerance`` (relative) of the tail mean and at least
+    ``window`` values remain.
+
+    Raises:
+        SimulationError: on an empty series or bad parameters.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise SimulationError("empty series")
+    if tolerance <= 0 or window < 1:
+        raise SimulationError("need tolerance > 0 and window >= 1")
+    for start in range(0, data.size - window + 1):
+        tail = data[start:]
+        center = tail.mean()
+        if center == 0:
+            continue
+        if np.abs(tail - center).max() <= tolerance * abs(center):
+            return Convergence(
+                converged=True, iteration=start, steady_value=float(center)
+            )
+    return Convergence(converged=False, iteration=None, steady_value=None)
+
+
+def iterations_to_reach(
+    values: Sequence[float],
+    target: float,
+    tolerance: float = 0.02,
+) -> Optional[int]:
+    """First index whose value is within ``tolerance`` of ``target`` and
+    stays there — how long the slide takes to deliver solo-like times."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise SimulationError("empty series")
+    if target <= 0:
+        raise SimulationError("target must be > 0")
+    near = np.abs(data - target) <= tolerance * target
+    for index in range(data.size):
+        if near[index:].all():
+            return index
+    return None

@@ -1,0 +1,107 @@
+"""Fairness metrics over simulation outputs.
+
+The paper's provocation is that fairness is the wrong objective — these
+metrics make the trade explicit by quantifying *how unfair* each policy's
+bandwidth allocation actually was and what that bought:
+
+* :func:`jain_index` — Jain's fairness index over per-job mean rates
+  during contention (1 = perfectly fair).
+* :func:`contention_shares` — each job's share of the bottleneck during
+  the periods when two or more jobs were communicating.
+* :func:`efficiency` — total useful bytes over link capacity × time,
+  the quantity unfairness actually improves for compatible jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..net.phasesim import SimulationResult
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``, in (0, 1]."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise SimulationError("jain_index of an empty sequence")
+    if (data < 0).any():
+        raise SimulationError("rates must be non-negative")
+    total_sq = float((data ** 2).sum())
+    if total_sq == 0:
+        return 1.0
+    return float(data.sum() ** 2 / (data.size * total_sq))
+
+
+def _contention_windows(
+    result: SimulationResult,
+    job_ids: Sequence[str],
+) -> List[Tuple[float, float]]:
+    """Time windows during which two or more jobs communicate."""
+    events: List[Tuple[float, int]] = []
+    for job_id in job_ids:
+        for record in result.jobs[job_id].records:
+            events.append((record.comm_start, 1))
+            events.append((record.end, -1))
+    events.sort()
+    windows: List[Tuple[float, float]] = []
+    depth = 0
+    window_start = 0.0
+    for time, delta in events:
+        was_contended = depth >= 2
+        depth += delta
+        if not was_contended and depth >= 2:
+            window_start = time
+        elif was_contended and depth < 2:
+            windows.append((window_start, time))
+    return windows
+
+
+def contention_shares(
+    result: SimulationResult,
+    job_ids: Sequence[str],
+) -> Dict[str, float]:
+    """Each job's mean rate over the contended periods, bytes/s.
+
+    Returns zeros for every job when the jobs never overlapped — which
+    is itself the signature of a perfectly interleaved schedule.
+    """
+    windows = _contention_windows(result, job_ids)
+    total_time = sum(end - start for start, end in windows)
+    shares: Dict[str, float] = {}
+    for job_id in job_ids:
+        trace = result.jobs[job_id].rate_trace
+        moved = sum(trace.integrate(start, end) for start, end in windows)
+        shares[job_id] = moved / total_time if total_time > 0 else 0.0
+    return shares
+
+
+def contention_fraction(
+    result: SimulationResult,
+    job_ids: Sequence[str],
+) -> float:
+    """Fraction of the run during which two or more jobs communicated."""
+    windows = _contention_windows(result, job_ids)
+    if result.duration <= 0:
+        raise SimulationError("empty simulation")
+    return sum(end - start for start, end in windows) / result.duration
+
+
+def efficiency(
+    result: SimulationResult,
+    link_name: str,
+    capacity: float,
+    start: float = 0.0,
+    end: float | None = None,
+) -> float:
+    """Bottleneck utilization: bytes carried over capacity x time."""
+    if capacity <= 0:
+        raise SimulationError("capacity must be > 0")
+    if end is None:
+        end = result.duration
+    if end <= start:
+        raise SimulationError(f"bad window [{start}, {end}]")
+    load = result.link_loads[link_name]
+    return load.integrate(start, end) / (capacity * (end - start))

@@ -1,0 +1,105 @@
+"""Plain-text rendering of tables and plots.
+
+Benchmarks print the same rows and series the paper's tables and figures
+report; these helpers keep that output aligned and readable in a terminal
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+#: Glyphs for vertical-resolution bar plots.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def format_ms(seconds: float, digits: int = 1) -> str:
+    """Render a duration in milliseconds, e.g. ``'297.0 ms'``."""
+    return f"{seconds * 1e3:.{digits}f} ms"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def ascii_sparkline(values: Sequence[float], maximum: float = 0.0) -> str:
+    """One-line block-glyph sparkline of non-negative values."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return ""
+    top = maximum if maximum > 0 else max(float(data.max()), 1e-12)
+    scaled = np.clip(data / top, 0.0, 1.0)
+    indices = np.round(scaled * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def ascii_timeline(
+    times: Sequence[float],
+    values: Sequence[float],
+    label: str = "",
+    width: int = 80,
+    maximum: float = 1.0,
+) -> str:
+    """A labelled sparkline resampled to ``width`` columns.
+
+    Used for the Figure 2 link-utilization series: one row per scenario,
+    utilization rendered as block heights over time.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return f"{label}: (no data)"
+    if data.size > width:
+        # Average into width buckets to preserve narrow phases.
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.asarray(
+            [
+                data[lo:hi].mean() if hi > lo else data[min(lo, data.size - 1)]
+                for lo, hi in zip(edges[:-1], edges[1:])
+            ]
+        )
+    spark = ascii_sparkline(data, maximum=maximum)
+    t0, t1 = float(times[0]), float(times[-1])
+    return f"{label:16s} |{spark}| {t0:.2f}s..{t1:.2f}s"
+
+
+def ascii_cdf(
+    values: Sequence[float],
+    label: str = "",
+    width: int = 60,
+    x_max: float = 0.0,
+) -> str:
+    """Render a CDF as a row of quantile markers.
+
+    Prints the 10th..90th percentiles so two scenarios can be compared
+    line-by-line, mirroring how Figure 1d is read.
+    """
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if data.size == 0:
+        return f"{label}: (no data)"
+    quantiles = [10, 25, 50, 75, 90]
+    parts = [
+        f"p{q}={np.percentile(data, q) * 1e3:.1f}ms" for q in quantiles
+    ]
+    return f"{label:16s} " + "  ".join(parts)

@@ -1,0 +1,71 @@
+"""Iteration-time statistics.
+
+Wraps the summaries every experiment reports: mean/median/percentiles of
+iteration times, and the fair-over-unfair speedup ratio Table 1 tabulates
+(values above 1 mean unfairness helped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Summary statistics of a sequence of iteration times (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    p5: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean in milliseconds (for reporting)."""
+        return self.mean * 1e3
+
+    @property
+    def median_ms(self) -> float:
+        """Median in milliseconds (for reporting)."""
+        return self.median * 1e3
+
+
+def summarize(times: Sequence[float], skip: int = 0) -> IterationStats:
+    """Summarize iteration times, optionally skipping warm-up iterations.
+
+    Raises:
+        SimulationError: if no samples remain after ``skip``.
+    """
+    values = np.asarray(list(times), dtype=float)[skip:]
+    if values.size == 0:
+        raise SimulationError("no iteration samples to summarize")
+    return IterationStats(
+        count=int(values.size),
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        std=float(values.std()),
+        p5=float(np.percentile(values, 5)),
+        p95=float(np.percentile(values, 95)),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+    )
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` — above 1 means ``improved`` is faster.
+
+    Table 1's "unfairness speed-up" column is
+    ``speedup(fair_time, unfair_time)``.
+    """
+    if improved <= 0:
+        raise SimulationError(f"improved time must be > 0, got {improved}")
+    return baseline / improved

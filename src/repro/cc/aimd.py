@@ -1,0 +1,127 @@
+"""A TCP-like AIMD fluid baseline.
+
+The paper's related work observes that RDMA congestion control (DCQCN, IRN,
+RoCC) and classic TCP all *strive for fairness*. This module provides a
+loss-driven additive-increase/multiplicative-decrease fluid model as an
+independent fairness baseline: senders grow linearly and halve when the
+shared buffer overflows. Used in ablation benchmarks to show the
+fair-sharing pathology (Figure 2a) is not specific to DCQCN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError, SimulationError
+from ..sim.trace import TimeSeries
+from ..switches.queues import FluidQueue
+from ..units import gbps, kib, mbps
+
+
+@dataclass(frozen=True)
+class AimdParams:
+    """AIMD sender parameters.
+
+    Attributes:
+        line_rate: Sender rate cap, bytes/s.
+        increase_rate: Additive ramp in bytes/s per second.
+        decrease_factor: Multiplicative cut on loss (0.5 = halve).
+        min_rate: Rate floor, bytes/s.
+    """
+
+    line_rate: float = gbps(50)
+    increase_rate: float = gbps(1) / 0.01  # reach 1 Gbps in 10 ms
+    decrease_factor: float = 0.5
+    min_rate: float = mbps(50)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.decrease_factor < 1:
+            raise ConfigError("decrease_factor must be in (0, 1)")
+        if self.line_rate <= 0 or self.increase_rate <= 0:
+            raise ConfigError("line_rate and increase_rate must be > 0")
+
+
+class _AimdSender:
+    def __init__(self, name: str, params: AimdParams) -> None:
+        self.name = name
+        self.params = params
+        self.rate = params.min_rate
+
+    def grow(self, dt: float) -> None:
+        self.rate = min(
+            self.rate + self.params.increase_rate * dt, self.params.line_rate
+        )
+
+    def cut(self) -> None:
+        self.rate = max(
+            self.rate * self.params.decrease_factor, self.params.min_rate
+        )
+
+
+@dataclass
+class AimdResult:
+    """Sampled rates from an AIMD run."""
+
+    rate_series: Dict[str, TimeSeries] = field(default_factory=dict)
+    duration: float = 0.0
+
+    def mean_rate(self, name: str, start: float = 0.0) -> float:
+        """Time-average rate of sender ``name`` from ``start`` onward."""
+        series = self.rate_series[name]
+        mask = series.times >= start
+        if not mask.any():
+            raise SimulationError(f"no samples for {name} after {start}")
+        return float(series.values[mask].mean())
+
+
+class AimdFluidSimulator:
+    """Fixed-step AIMD senders sharing one drop-tail bottleneck."""
+
+    def __init__(
+        self,
+        capacity: float = gbps(50),
+        buffer_bytes: float = kib(512),
+        dt: float = 10e-6,
+        sample_interval: float = 250e-6,
+    ) -> None:
+        if dt <= 0 or sample_interval < dt:
+            raise ConfigError("need dt > 0 and sample_interval >= dt")
+        self.capacity = capacity
+        self.queue = FluidQueue(capacity, max_occupancy=buffer_bytes)
+        self.dt = dt
+        self.sample_interval = sample_interval
+        self._senders: List[_AimdSender] = []
+
+    def add_sender(self, name: str, params: Optional[AimdParams] = None) -> None:
+        """Register a long-lived AIMD sender."""
+        self._senders.append(_AimdSender(name, params or AimdParams()))
+
+    def run(self, duration: float) -> AimdResult:
+        """Simulate ``duration`` seconds; all senders always backlogged."""
+        if not self._senders:
+            raise SimulationError("add at least one sender before run()")
+        result = AimdResult(
+            rate_series={s.name: TimeSeries(s.name) for s in self._senders},
+            duration=duration,
+        )
+        steps = int(round(duration / self.dt))
+        samples_every = max(1, int(round(self.sample_interval / self.dt)))
+        now = 0.0
+        for step_index in range(steps):
+            arrival = sum(s.rate for s in self._senders)
+            dropped_before = self.queue.dropped_bytes
+            self.queue.step(arrival, self.dt)
+            if self.queue.dropped_bytes > dropped_before:
+                # Loss is congestion feedback: every sender backs off
+                # (synchronized loss — the worst case for fairness churn).
+                for sender in self._senders:
+                    sender.cut()
+            else:
+                for sender in self._senders:
+                    sender.grow(self.dt)
+            now += self.dt
+            if step_index % samples_every == 0:
+                for sender in self._senders:
+                    result.rate_series[sender.name].record(now, sender.rate)
+        return result

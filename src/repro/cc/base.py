@@ -1,0 +1,47 @@
+"""The share-policy interface.
+
+A :class:`SharePolicy` turns the set of currently communicating flows into
+weights and priorities for the fluid allocator. Policies that depend on
+communication *progress* (the paper's adaptively-unfair rule) additionally
+declare a ``reallocation_interval`` so the phase simulator refreshes rates
+between phase boundaries as progress accrues.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from ..net.flows import Flow
+
+
+class SharePolicy(abc.ABC):
+    """Maps flows to instantaneous share weights and priorities."""
+
+    #: Human-readable policy name (used in reports).
+    name: str = "policy"
+
+    #: Seconds between forced re-allocations while flows are active, or
+    #: ``None`` if rates only change at phase boundaries. Progress-dependent
+    #: policies must set this.
+    reallocation_interval: Optional[float] = None
+
+    @abc.abstractmethod
+    def weight_of(self, flow: Flow) -> float:
+        """Instantaneous share weight for ``flow`` (> 0)."""
+
+    def priority_of(self, flow: Flow) -> int:
+        """Strict priority class for ``flow``; higher is served first."""
+        return 0
+
+    def on_phase_start(self, flow: Flow) -> None:
+        """Hook invoked when a flow's communication phase begins."""
+
+    def on_phase_end(self, flow: Flow) -> None:
+        """Hook invoked when a flow's communication phase completes."""
+
+    def prepare(self, flows: Sequence[Flow]) -> None:
+        """Hook invoked once before a simulation starts."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

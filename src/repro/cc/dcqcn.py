@@ -1,0 +1,448 @@
+"""Fine-grained DCQCN fluid model.
+
+Implements the DCQCN sender state machine (Zhu et al., SIGCOMM '15) over a
+fluid bottleneck queue with RED/ECN marking:
+
+* **decrease** — the receiver returns at most one CNP per 50 µs window when
+  it sees marked traffic; on CNP the sender updates
+  ``alpha = (1-g)*alpha + g``, remembers ``R_T = R_C`` and cuts
+  ``R_C *= 1 - alpha/2``.
+* **increase** — two counters drive increase events: a *byte counter*
+  (every ``B`` bytes) and a *timer* (every ``T`` seconds — **the paper's
+  unfairness knob**). The first ``F`` events of both counters perform fast
+  recovery (``R_C <- (R_T + R_C)/2``); once one counter passes ``F`` the
+  sender adds ``R_AI`` to ``R_T`` (additive increase); once both pass ``F``
+  it adds ``R_HAI`` (hyper increase).
+* **alpha decay** — without CNPs for 55 µs, ``alpha *= 1 - g`` periodically.
+
+A smaller ``T`` means more frequent increase events, so the sender recovers
+from each cut faster and holds a larger share of the bottleneck in steady
+state. The paper exploits exactly this: setting ``T`` to 100 µs on one
+job's servers versus the default 125 µs yields a ~30 vs 15 Gbps split on
+the shared link (Figure 1c). :func:`calibrate_timer_weights` measures the
+steady-state share each timer value achieves, which the phase-level
+simulator uses as static weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError
+from ..sim.trace import TimeSeries
+from ..switches.ecn import RedEcnMarker
+from ..switches.queues import FluidQueue
+from ..units import gbps, mbps
+
+#: Default rate-increase timer in the paper's testbed.
+DEFAULT_TIMER = 125e-6
+#: The more aggressive timer used for J1 in the paper's Figure 1c.
+AGGRESSIVE_TIMER = 100e-6
+
+
+@dataclass(frozen=True)
+class DcqcnParams:
+    """DCQCN sender parameters (defaults scaled to a 50 Gbps NIC).
+
+    Attributes:
+        line_rate: NIC line rate, bytes/s.
+        timer: Rate-increase timer period ``T`` in seconds — the knob the
+            paper skews to create unfairness.
+        byte_counter: Bytes between byte-counter increase events (``B``).
+        rai: Additive-increase step, bytes/s.
+        rhai: Hyper-increase step, bytes/s.
+        g: EWMA gain for alpha.
+        fast_recovery_rounds: ``F``; increase events in fast recovery.
+        cnp_interval: Minimum spacing between CNPs (receiver side).
+        alpha_timer: Period of alpha decay when no CNPs arrive.
+        min_rate: Floor on the sending rate, bytes/s.
+        mtu: Packet size used to convert fluid to packet counts for marking.
+    """
+
+    line_rate: float = gbps(50)
+    timer: float = DEFAULT_TIMER
+    byte_counter: float = 10e6
+    rai: float = mbps(400)
+    rhai: float = mbps(4000)
+    g: float = 1.0 / 256.0
+    fast_recovery_rounds: int = 5
+    cnp_interval: float = 50e-6
+    alpha_timer: float = 55e-6
+    min_rate: float = mbps(100)
+    mtu: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if self.line_rate <= 0 or self.timer <= 0 or self.byte_counter <= 0:
+            raise ConfigError("line_rate, timer and byte_counter must be > 0")
+        if not 0 < self.g < 1:
+            raise ConfigError(f"g must be in (0, 1), got {self.g}")
+        if self.min_rate <= 0 or self.min_rate > self.line_rate:
+            raise ConfigError("min_rate must be in (0, line_rate]")
+
+    def with_timer(self, timer: float) -> "DcqcnParams":
+        """A copy of these parameters with a different increase timer."""
+        return replace(self, timer=timer)
+
+
+class DcqcnSender:
+    """One DCQCN-controlled flow's rate state machine."""
+
+    def __init__(
+        self,
+        name: str,
+        params: DcqcnParams,
+        rng: np.random.Generator,
+        data_bytes: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        self.params = params
+        self._rng = rng
+        #: Remaining bytes to send; ``None`` means a long-lived flow.
+        self.remaining = data_bytes
+        self.rate = params.line_rate  # DCQCN starts at line rate.
+        self.target_rate = params.line_rate
+        self.alpha = 1.0
+        self.bytes_sent = 0.0
+        self.cnps_received = 0
+        self._byte_accum = 0.0
+        self._timer_accum = 0.0
+        self._byte_stage = 0
+        self._timer_stage = 0
+        self._next_cnp_time = 0.0
+        self._next_alpha_decay = params.alpha_timer
+
+    @property
+    def done(self) -> bool:
+        """Whether a finite flow has sent all its data."""
+        return self.remaining is not None and self.remaining <= 0
+
+    def step(self, now: float, dt: float, marking_probability: float) -> float:
+        """Advance the sender by ``dt``; returns bytes injected this step."""
+        if self.done:
+            return 0.0
+        sent = self.rate * dt
+        if self.remaining is not None:
+            sent = min(sent, self.remaining)
+            self.remaining -= sent
+        self.bytes_sent += sent
+
+        self._maybe_receive_cnp(now, dt, sent, marking_probability)
+        self._run_increase_counters(sent, dt)
+        self._decay_alpha(now)
+        self.rate = min(max(self.rate, self.params.min_rate), self.params.line_rate)
+        self.target_rate = min(self.target_rate, self.params.line_rate)
+        return sent
+
+    # ------------------------------------------------------------------
+    # State machine pieces
+    # ------------------------------------------------------------------
+
+    def _maybe_receive_cnp(
+        self, now: float, dt: float, sent: float, marking_probability: float
+    ) -> None:
+        if marking_probability <= 0 or now < self._next_cnp_time:
+            return
+        packets = sent / self.params.mtu
+        if packets <= 0:
+            return
+        p_any_marked = 1.0 - (1.0 - marking_probability) ** packets
+        if self._rng.random() >= p_any_marked:
+            return
+        # CNP delivered: cut rate, refresh alpha, reset increase state.
+        p = self.params
+        self.cnps_received += 1
+        self.alpha = (1.0 - p.g) * self.alpha + p.g
+        self.target_rate = self.rate
+        self.rate = max(self.rate * (1.0 - self.alpha / 2.0), p.min_rate)
+        self._byte_accum = 0.0
+        self._timer_accum = 0.0
+        self._byte_stage = 0
+        self._timer_stage = 0
+        self._next_cnp_time = now + p.cnp_interval
+        self._next_alpha_decay = now + p.alpha_timer
+
+    def _run_increase_counters(self, sent: float, dt: float) -> None:
+        p = self.params
+        self._byte_accum += sent
+        while self._byte_accum >= p.byte_counter:
+            self._byte_accum -= p.byte_counter
+            self._byte_stage += 1
+            self._increase_event()
+        self._timer_accum += dt
+        while self._timer_accum >= p.timer:
+            self._timer_accum -= p.timer
+            self._timer_stage += 1
+            self._increase_event()
+
+    def _increase_event(self) -> None:
+        p = self.params
+        in_fast_recovery = (
+            self._byte_stage < p.fast_recovery_rounds
+            and self._timer_stage < p.fast_recovery_rounds
+        )
+        past_both = (
+            self._byte_stage >= p.fast_recovery_rounds
+            and self._timer_stage >= p.fast_recovery_rounds
+        )
+        if in_fast_recovery:
+            pass  # R_T unchanged; R_C closes half the gap below.
+        elif past_both:
+            self.target_rate += p.rhai
+        else:
+            self.target_rate += p.rai
+        self.target_rate = min(self.target_rate, p.line_rate)
+        self.rate = (self.target_rate + self.rate) / 2.0
+
+    def _decay_alpha(self, now: float) -> None:
+        while now >= self._next_alpha_decay:
+            self.alpha *= 1.0 - self.params.g
+            self._next_alpha_decay += self.params.alpha_timer
+
+
+class OnOffDcqcnJob:
+    """A training job's on-off traffic driven by the DCQCN state machine.
+
+    Alternates compute phases (no traffic) with communication phases that
+    inject ``comm_bytes`` under a fresh DCQCN sender (RDMA flows start at
+    line rate). Plugs into :class:`DcqcnFluidSimulator` alongside plain
+    senders, enabling a *cross-fidelity* check: the sliding effect the
+    phase-level simulator predicts must also emerge from the microsecond-
+    scale rate dynamics.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: DcqcnParams,
+        rng: np.random.Generator,
+        compute_time: float,
+        comm_bytes: float,
+        start_offset: float = 0.0,
+    ) -> None:
+        if compute_time < 0 or comm_bytes <= 0:
+            raise ConfigError(
+                "need compute_time >= 0 and comm_bytes > 0"
+            )
+        self.name = name
+        self.params = params
+        self._rng = rng
+        self.compute_time = compute_time
+        self.comm_bytes = comm_bytes
+        self.iteration_starts: List[float] = [start_offset]
+        self.iteration_ends: List[float] = []
+        self.comm_starts: List[float] = []
+        self._sender: Optional[DcqcnSender] = None
+        self._comm_deadline = start_offset + compute_time
+
+    @property
+    def done(self) -> bool:
+        """On-off jobs run for the whole simulation."""
+        return False
+
+    @property
+    def rate(self) -> float:
+        """Instantaneous sending rate (0 while computing)."""
+        if self._sender is None or self._sender.done:
+            return 0.0
+        return self._sender.rate
+
+    def iteration_times(self) -> np.ndarray:
+        """Durations of completed iterations, seconds."""
+        n = len(self.iteration_ends)
+        starts = np.asarray(self.iteration_starts[:n])
+        ends = np.asarray(self.iteration_ends)
+        return ends - starts
+
+    def step(self, now: float, dt: float, marking_probability: float) -> float:
+        """Advance one step; returns bytes injected."""
+        if self._sender is None:
+            if now + dt < self._comm_deadline:
+                return 0.0
+            # Communication phase begins: fresh DCQCN state at line rate.
+            self._sender = DcqcnSender(
+                self.name, self.params, self._rng,
+                data_bytes=self.comm_bytes,
+            )
+            self.comm_starts.append(now)
+        sent = self._sender.step(now, dt, marking_probability)
+        if self._sender.done:
+            end = now + dt
+            self.iteration_ends.append(end)
+            self.iteration_starts.append(end)
+            self._sender = None
+            self._comm_deadline = end + self.compute_time
+        return sent
+
+
+@dataclass
+class DcqcnResult:
+    """Output of a fine-grained DCQCN run.
+
+    Attributes:
+        rate_series: Per-sender sending-rate samples (bytes/s).
+        queue_series: Bottleneck queue occupancy samples (bytes).
+        duration: Simulated seconds.
+    """
+
+    rate_series: Dict[str, TimeSeries] = field(default_factory=dict)
+    queue_series: TimeSeries = field(default_factory=lambda: TimeSeries("queue"))
+    duration: float = 0.0
+
+    def mean_rate(self, name: str, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Time-average sending rate of ``name`` over ``[start, end]``."""
+        series = self.rate_series[name]
+        times = series.times
+        values = series.values
+        if end is None:
+            end = self.duration
+        mask = (times >= start) & (times <= end)
+        if not mask.any():
+            raise SimulationError(f"no samples for {name} in [{start}, {end}]")
+        return float(values[mask].mean())
+
+
+class DcqcnFluidSimulator:
+    """Fixed-step fluid simulation of DCQCN senders at one bottleneck.
+
+    Optionally models **PFC** (priority flow control), RDMA's lossless
+    backstop: when the queue exceeds ``pfc_pause_threshold`` the switch
+    pauses all upstream senders; transmission resumes once it drains
+    below ``pfc_resume_threshold``. DCQCN's whole purpose is to keep the
+    queue short enough that PFC rarely fires; the ``pfc_pause_seconds``
+    counter measures how well it succeeds.
+    """
+
+    def __init__(
+        self,
+        capacity: float = gbps(50),
+        marker: Optional[RedEcnMarker] = None,
+        dt: float = 5e-6,
+        sample_interval: float = 250e-6,
+        pfc_pause_threshold: Optional[float] = None,
+        pfc_resume_threshold: Optional[float] = None,
+    ) -> None:
+        if dt <= 0 or sample_interval < dt:
+            raise ConfigError("need dt > 0 and sample_interval >= dt")
+        self.capacity = capacity
+        self.marker = marker if marker is not None else RedEcnMarker()
+        self.dt = dt
+        self.sample_interval = sample_interval
+        self.queue = FluidQueue(capacity)
+        self.senders: List[DcqcnSender] = []
+        if pfc_pause_threshold is not None:
+            if pfc_pause_threshold <= 0:
+                raise ConfigError("pfc_pause_threshold must be > 0")
+            if pfc_resume_threshold is None:
+                pfc_resume_threshold = pfc_pause_threshold / 2
+            if not 0 < pfc_resume_threshold < pfc_pause_threshold:
+                raise ConfigError(
+                    "need 0 < pfc_resume_threshold < pfc_pause_threshold"
+                )
+        self.pfc_pause_threshold = pfc_pause_threshold
+        self.pfc_resume_threshold = pfc_resume_threshold
+        self.pfc_paused = False
+        self.pfc_pause_seconds = 0.0
+
+    def add_sender(
+        self,
+        name: str,
+        params: DcqcnParams,
+        rng: np.random.Generator,
+        data_bytes: Optional[float] = None,
+    ) -> DcqcnSender:
+        """Register a sender whose traffic crosses the bottleneck."""
+        sender = DcqcnSender(name, params, rng, data_bytes)
+        self.senders.append(sender)
+        return sender
+
+    def add_source(self, source) -> None:
+        """Register any traffic source implementing the sender protocol
+        (``name``, ``rate``, ``done``, ``step(now, dt, p)``) — e.g. an
+        :class:`OnOffDcqcnJob`."""
+        self.senders.append(source)
+
+    def run(self, duration: float) -> DcqcnResult:
+        """Simulate ``duration`` seconds and return sampled traces."""
+        if not self.senders:
+            raise SimulationError("add at least one sender before run()")
+        result = DcqcnResult(
+            rate_series={s.name: TimeSeries(s.name) for s in self.senders},
+            duration=duration,
+        )
+        steps = int(round(duration / self.dt))
+        samples_every = max(1, int(round(self.sample_interval / self.dt)))
+        now = 0.0
+        for step_index in range(steps):
+            self._update_pfc()
+            p_mark = self.marker.marking_probability(self.queue.occupancy)
+            arrival = 0.0
+            if self.pfc_paused:
+                # Upstream is paused; the queue only drains. Sender rate
+                # machines idle (no bytes, no marks) for the step.
+                self.pfc_pause_seconds += self.dt
+            else:
+                for sender in self.senders:
+                    arrival += sender.step(now, self.dt, p_mark)
+            self.queue.step(arrival / self.dt if self.dt > 0 else 0.0, self.dt)
+            now += self.dt
+            if step_index % samples_every == 0:
+                for sender in self.senders:
+                    rate = 0.0 if sender.done else sender.rate
+                    result.rate_series[sender.name].record(now, rate)
+                result.queue_series.record(now, self.queue.occupancy)
+        return result
+
+    def _update_pfc(self) -> None:
+        if self.pfc_pause_threshold is None:
+            return
+        if not self.pfc_paused and (
+            self.queue.occupancy >= self.pfc_pause_threshold
+        ):
+            self.pfc_paused = True
+        elif self.pfc_paused and (
+            self.queue.occupancy <= self.pfc_resume_threshold
+        ):
+            self.pfc_paused = False
+
+
+def calibrate_timer_weights(
+    timers: Sequence[float],
+    capacity: float = gbps(50),
+    duration: float = 0.25,
+    warmup: float = 0.05,
+    seed: int = 0,
+    params: Optional[DcqcnParams] = None,
+) -> Dict[float, float]:
+    """Measure the share weight each increase-timer value earns.
+
+    Runs one long-lived sender per timer value against the others on a
+    single bottleneck and reports each sender's steady-state share,
+    normalized so the *largest* timer (least aggressive sender) has
+    weight 1. The phase-level simulator feeds these into
+    :class:`repro.cc.weighted.StaticWeighted` so that coarse runs inherit
+    the unfairness a real ``T`` skew would produce.
+    """
+    if len(timers) < 2:
+        raise ConfigError("calibration needs at least two timer values")
+    base = params if params is not None else DcqcnParams(line_rate=capacity)
+    sim = DcqcnFluidSimulator(capacity=capacity)
+    rng_root = np.random.default_rng(seed)
+    names = []
+    for index, timer in enumerate(timers):
+        name = f"t{index}"
+        names.append(name)
+        child = np.random.default_rng(rng_root.integers(2**63))
+        sim.add_sender(name, base.with_timer(timer), child)
+    result = sim.run(duration)
+    means = {
+        name: result.mean_rate(name, start=warmup) for name in names
+    }
+    reference = means[names[int(np.argmax(timers))]]
+    if reference <= 0:
+        raise SimulationError("calibration reference sender starved")
+    return {
+        timer: means[name] / reference for timer, name in zip(timers, names)
+    }

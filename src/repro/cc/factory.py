@@ -1,0 +1,57 @@
+"""Share-policy factory.
+
+Experiments and benchmarks construct policies by name so that sweeps can be
+expressed as configuration. Names: ``fair``, ``weighted``, ``adaptive``,
+``priority``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigError
+from .adaptive import AdaptiveUnfair
+from .base import SharePolicy
+from .fair import FairSharing
+from .priority import PrioritySharing
+from .weighted import StaticWeighted
+
+
+def make_policy(name: str, **kwargs: Any) -> SharePolicy:
+    """Construct a share policy by name.
+
+    Args:
+        name: One of ``fair``, ``weighted``, ``adaptive``, ``priority``.
+        **kwargs: Forwarded to the policy constructor; ``weighted`` also
+            accepts ``order=[job ids]`` (most aggressive first) instead of
+            explicit ``weights``, and ``priority`` accepts ``order`` instead
+            of explicit ``priorities``.
+
+    Raises:
+        ConfigError: for an unknown name or bad arguments.
+    """
+    key = name.strip().lower()
+    if key == "fair":
+        return FairSharing(**kwargs)
+    if key == "weighted":
+        order = kwargs.pop("order", None)
+        if order is not None:
+            if "weights" in kwargs:
+                raise ConfigError("pass either order or weights, not both")
+            ratio = kwargs.pop("ratio", None)
+            if ratio is not None:
+                return StaticWeighted.from_aggressiveness_order(order, ratio)
+            return StaticWeighted.from_aggressiveness_order(order)
+        return StaticWeighted(**kwargs)
+    if key == "adaptive":
+        return AdaptiveUnfair(**kwargs)
+    if key == "priority":
+        order = kwargs.pop("order", None)
+        if order is not None:
+            if "priorities" in kwargs:
+                raise ConfigError("pass either order or priorities, not both")
+            return PrioritySharing.unique_for(order)
+        return PrioritySharing(**kwargs)
+    raise ConfigError(
+        f"unknown policy {name!r}; expected fair/weighted/adaptive/priority"
+    )

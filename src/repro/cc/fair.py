@@ -1,0 +1,21 @@
+"""Fair sharing — the baseline the paper argues against.
+
+Every flow gets weight 1, so the allocator performs plain max-min fair
+sharing: two jobs on the paper's bottleneck each get half the link (the
+Figure 1b scenario), and their communication phases stay overlapped forever
+(Figure 2a).
+"""
+
+from __future__ import annotations
+
+from ..net.flows import Flow
+from .base import SharePolicy
+
+
+class FairSharing(SharePolicy):
+    """Max-min fair sharing (models default DCQCN / TCP fairness)."""
+
+    name = "fair"
+
+    def weight_of(self, flow: Flow) -> float:
+        return 1.0

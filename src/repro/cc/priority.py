@@ -1,0 +1,47 @@
+"""Per-job strict priorities (§4, direction ii).
+
+With unique priorities per job on a link, the switch serves the higher
+class first; during an overlap the high-priority job takes the whole link,
+which slides the lower-priority job's phase out of the way exactly like
+extreme unfairness — without any congestion-control change. The paper notes
+the priority values can be arbitrary as long as jobs sharing a link are
+compatible and priorities are unique.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..errors import ConfigError
+from ..net.flows import Flow
+from .base import SharePolicy
+
+
+class PrioritySharing(SharePolicy):
+    """Strict-priority bandwidth sharing with per-job classes."""
+
+    name = "priority"
+
+    def __init__(self, priorities: Mapping[str, int], default: int = 0):
+        self._priorities: Dict[str, int] = dict(priorities)
+        self._default = int(default)
+
+    @classmethod
+    def unique_for(cls, job_ids: Sequence[str]) -> "PrioritySharing":
+        """Assign each job a distinct priority, first job highest."""
+        if len(set(job_ids)) != len(job_ids):
+            raise ConfigError("job ids must be unique")
+        n = len(job_ids)
+        return cls({job_id: n - rank for rank, job_id in enumerate(job_ids)})
+
+    def weight_of(self, flow: Flow) -> float:
+        # Within a priority class (only possible for jobs that were not
+        # assigned a class) the split is plain fair sharing.
+        return 1.0
+
+    def priority_of(self, flow: Flow) -> int:
+        return self._priorities.get(flow.job_id, self._default)
+
+    def priority_for_job(self, job_id: str) -> int:
+        """The configured priority of ``job_id`` (default if unset)."""
+        return self._priorities.get(job_id, self._default)

@@ -1,0 +1,97 @@
+"""Command-line interface.
+
+``repro-experiments`` regenerates any paper artifact from the shell::
+
+    repro-experiments list
+    repro-experiments run table1
+    repro-experiments run all
+
+Equivalent module form: ``python -m repro.cli run figure2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments import (
+    ablations,
+    crossfidelity,
+    extensions,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    mechanisms_exp,
+    scheduler_exp,
+    sweep,
+    table1,
+)
+
+#: Artifact name -> (description, runner).
+EXPERIMENTS: Dict[str, tuple[str, Callable[[], None]]] = {
+    "figure1": (
+        "Fig. 1b/1c DCQCN bandwidth + Fig. 1d iteration-time CDFs",
+        figure1.main,
+    ),
+    "figure2": ("Fig. 2 link utilization and the sliding effect",
+                figure2.main),
+    "figure3": ("Fig. 3 the VGG16 circle", figure3.main),
+    "figure4": ("Fig. 4 rotation separates colliding jobs", figure4.main),
+    "figure5": ("Fig. 5 the unified (LCM) circle", figure5.main),
+    "table1": ("Table 1 fair vs unfair for five job groups", table1.main),
+    "mechanisms": ("S4 mechanisms head-to-head", mechanisms_exp.main),
+    "scheduler": ("S4 compatibility-aware placement", scheduler_exp.main),
+    "ablations": ("adaptive CC, sector grid, solver comparison",
+                  ablations.main),
+    "crossfidelity": ("raw-DCQCN validation of the phase model",
+                      crossfidelity.main),
+    "extensions": ("S5: cluster-level, multi-tenancy, tuning",
+                   extensions.main),
+    "sweep": ("population sweep: compatibility probability vs comm fraction",
+              sweep.main),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Congestion Control in "
+            "Machine Learning Clusters' (HotNets '22)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available artifacts")
+    run = subparsers.add_parser("run", help="run one artifact (or 'all')")
+    run.add_argument(
+        "artifact",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            description, _ = EXPERIMENTS[name]
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.artifact == "all":
+        for name in sorted(EXPERIMENTS):
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            EXPERIMENTS[name][1]()
+        return 0
+    EXPERIMENTS[args.artifact][1]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,321 @@
+"""Exact arc algebra on an integer circle.
+
+An :class:`Arc` is a half-open interval ``[start, start+length)`` on a
+circle of integer perimeter ``P``; an :class:`ArcSet` is a canonical union
+of arcs (sorted, disjoint, non-adjacent, split at the 0 boundary). All
+operations — union, intersection, complement, rotation, tiling, coverage
+counting — are exact integer computations, which is what makes the
+compatibility solvers sound: when a solver reports zero overlap, the
+overlap *is* zero, not merely below a float tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A half-open arc ``[start, start+length)`` on a circle.
+
+    ``start`` is taken modulo the perimeter by :class:`ArcSet`; ``length``
+    must be positive and at most the perimeter (a full-circle arc).
+    """
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise GeometryError(f"arc length must be > 0, got {self.length}")
+
+
+class ArcSet:
+    """A canonical set of arcs on a circle of integer perimeter."""
+
+    __slots__ = ("_perimeter", "_intervals")
+
+    def __init__(
+        self,
+        perimeter: int,
+        arcs: Iterable[Tuple[int, int]] = (),
+    ) -> None:
+        """Build from ``(start, length)`` pairs (any order, may overlap).
+
+        Args:
+            perimeter: Circle perimeter in ticks (> 0).
+            arcs: Iterable of ``(start, length)``; starts are reduced modulo
+                the perimeter, lengths clamped to it (a length >= perimeter
+                covers the full circle). Zero-length arcs are ignored.
+        """
+        if perimeter <= 0:
+            raise GeometryError(f"perimeter must be > 0, got {perimeter}")
+        self._perimeter = int(perimeter)
+        linear: List[Tuple[int, int]] = []
+        for start, length in arcs:
+            if length < 0:
+                raise GeometryError(f"arc length must be >= 0, got {length}")
+            if length == 0:
+                continue
+            if length >= self._perimeter:
+                linear = [(0, self._perimeter)]
+                break
+            start = int(start) % self._perimeter
+            end = start + int(length)
+            if end <= self._perimeter:
+                linear.append((start, end))
+            else:  # wraps past 0: split
+                linear.append((start, self._perimeter))
+                linear.append((0, end - self._perimeter))
+        self._intervals: Tuple[Tuple[int, int], ...] = tuple(
+            _merge(linear)
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def perimeter(self) -> int:
+        """Circle perimeter in ticks."""
+        return self._perimeter
+
+    @property
+    def intervals(self) -> Tuple[Tuple[int, int], ...]:
+        """Canonical ``(start, end)`` linear intervals within ``[0, P]``."""
+        return self._intervals
+
+    @property
+    def measure(self) -> int:
+        """Total covered length in ticks."""
+        return sum(end - start for start, end in self._intervals)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no point is covered."""
+        return not self._intervals
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the whole circle is covered."""
+        return self.measure == self._perimeter
+
+    def contains(self, point: int) -> bool:
+        """Whether ``point`` (mod perimeter) lies inside the set."""
+        point = point % self._perimeter
+        for start, end in self._intervals:
+            if start <= point < end:
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArcSet):
+            return NotImplemented
+        return (
+            self._perimeter == other._perimeter
+            and self._intervals == other._intervals
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._perimeter, self._intervals))
+
+    def __repr__(self) -> str:
+        return f"ArcSet(P={self._perimeter}, {list(self._intervals)})"
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def _require_same_circle(self, other: "ArcSet") -> None:
+        if self._perimeter != other._perimeter:
+            raise GeometryError(
+                f"circle mismatch: {self._perimeter} vs {other._perimeter}"
+            )
+
+    def union(self, other: "ArcSet") -> "ArcSet":
+        """Set union on the same circle."""
+        self._require_same_circle(other)
+        result = ArcSet.__new__(ArcSet)
+        result._perimeter = self._perimeter
+        result._intervals = tuple(
+            _merge(list(self._intervals) + list(other._intervals))
+        )
+        return result
+
+    def intersection(self, other: "ArcSet") -> "ArcSet":
+        """Set intersection on the same circle."""
+        self._require_same_circle(other)
+        out: List[Tuple[int, int]] = []
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo < hi:
+                out.append((lo, hi))
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        result = ArcSet.__new__(ArcSet)
+        result._perimeter = self._perimeter
+        result._intervals = tuple(out)
+        return result
+
+    def complement(self) -> "ArcSet":
+        """All points not covered by this set."""
+        out: List[Tuple[int, int]] = []
+        cursor = 0
+        for start, end in self._intervals:
+            if cursor < start:
+                out.append((cursor, start))
+            cursor = end
+        if cursor < self._perimeter:
+            out.append((cursor, self._perimeter))
+        result = ArcSet.__new__(ArcSet)
+        result._perimeter = self._perimeter
+        result._intervals = tuple(out)
+        return result
+
+    def overlap_length(self, other: "ArcSet") -> int:
+        """Length of the intersection, ticks."""
+        return self.intersection(other).measure
+
+    def intersects(self, other: "ArcSet") -> bool:
+        """Whether any point is covered by both sets (early exit)."""
+        self._require_same_circle(other)
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            if max(a[i][0], b[j][0]) < min(a[i][1], b[j][1]):
+                return True
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Circle operations
+    # ------------------------------------------------------------------
+
+    def rotate(self, delta: int) -> "ArcSet":
+        """Rotate every arc by ``delta`` ticks (counterclockwise positive)."""
+        if delta % self._perimeter == 0:
+            return self
+        return ArcSet(
+            self._perimeter,
+            [
+                (start + delta, end - start)
+                for start, end in self._intervals
+            ],
+        )
+
+    def tile(self, new_perimeter: int) -> "ArcSet":
+        """Replicate this pattern onto a larger circle.
+
+        ``new_perimeter`` must be a positive multiple of the current
+        perimeter; the pattern repeats once per original period — this is
+        how a job is placed on the unified (LCM) circle of Figure 5.
+        """
+        if new_perimeter % self._perimeter != 0 or new_perimeter <= 0:
+            raise GeometryError(
+                f"{new_perimeter} is not a positive multiple of "
+                f"{self._perimeter}"
+            )
+        repeats = new_perimeter // self._perimeter
+        arcs = [
+            (start + k * self._perimeter, end - start)
+            for k in range(repeats)
+            for start, end in self._intervals
+        ]
+        return ArcSet(new_perimeter, arcs)
+
+    def gaps(self) -> List[Tuple[int, int]]:
+        """Circular gaps as ``(start, length)``, joining across 0.
+
+        Unlike :meth:`complement`, the gap that spans the 0 boundary is
+        reported as one circular gap — what a placement heuristic needs.
+        """
+        comp = self.complement()
+        if comp.is_empty:
+            return []
+        if comp.is_full:
+            return [(0, self._perimeter)]
+        pieces = list(comp.intervals)
+        starts_at_zero = pieces[0][0] == 0
+        ends_at_perimeter = pieces[-1][1] == self._perimeter
+        gaps = [(start, end - start) for start, end in pieces]
+        if starts_at_zero and ends_at_perimeter and len(pieces) > 1:
+            first = gaps.pop(0)
+            last_start, last_length = gaps.pop()
+            gaps.append((last_start, last_length + first[1]))
+        return gaps
+
+    # ------------------------------------------------------------------
+    # Multi-set coverage
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def coverage(arcsets: Sequence["ArcSet"]) -> List[Tuple[int, int, int]]:
+        """Sweep the circle and count covering sets per segment.
+
+        Returns:
+            ``(start, end, count)`` segments partitioning ``[0, P)``; only
+            segments with positive length are reported.
+
+        Raises:
+            GeometryError: if the sets live on different circles or the
+                input is empty.
+        """
+        if not arcsets:
+            raise GeometryError("coverage of an empty collection")
+        perimeter = arcsets[0].perimeter
+        events: List[Tuple[int, int]] = []
+        for arcset in arcsets:
+            if arcset.perimeter != perimeter:
+                raise GeometryError("coverage requires a common perimeter")
+            for start, end in arcset.intervals:
+                events.append((start, 1))
+                events.append((end, -1))
+        events.sort()
+        segments: List[Tuple[int, int, int]] = []
+        count = 0
+        cursor = 0
+        index = 0
+        while index < len(events):
+            position = events[index][0]
+            if position > cursor:
+                segments.append((cursor, position, count))
+                cursor = position
+            while index < len(events) and events[index][0] == position:
+                count += events[index][1]
+                index += 1
+        if cursor < perimeter:
+            segments.append((cursor, perimeter, count))
+        return segments
+
+    @staticmethod
+    def max_coverage(arcsets: Sequence["ArcSet"]) -> int:
+        """Maximum number of sets covering any single point."""
+        return max(
+            (count for _, _, count in ArcSet.coverage(arcsets)), default=0
+        )
+
+
+def _merge(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort and merge overlapping or adjacent linear intervals."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged

@@ -1,0 +1,208 @@
+"""The compatibility checker facade.
+
+Answers the paper's central question: *"Is there a way to slide the
+communication pattern of the jobs such that their communication phases have
+almost no overlap with each other?"* (§3). Jobs are **fully compatible**
+when such rotations exist; the checker returns the rotations as the
+certificate, plus diagnostics (unified perimeter, utilization bound, the
+residual overlap when incompatible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import CompatibilityError
+from ..units import gbps
+from ..workloads.job import JobSpec
+from .circle import JobCircle
+from .optimize import SolverOutcome, solve
+from .unified import UnifiedCircle
+
+
+@dataclass(frozen=True)
+class CompatibilityResult:
+    """Verdict for one set of jobs sharing a link.
+
+    Attributes:
+        compatible: Whether zero-overlap rotations were found.
+        rotations: Per-job rotation in ticks (the certificate when
+            compatible; the best-effort assignment otherwise).
+        overlap_ticks: Residual overlap of ``rotations``.
+        unified_perimeter: LCM of the iteration times, ticks.
+        utilization: Total communication demand over the unified period
+            (> 1 makes incompatibility trivial).
+        certified: Whether the verdict is proven (found rotations, an
+            infeasibility proof, or an exhausted complete search) rather
+            than a heuristic miss.
+        method: The solver that settled the question.
+        job_ids: Jobs in the order they were given.
+    """
+
+    compatible: bool
+    rotations: Dict[str, int]
+    overlap_ticks: int
+    unified_perimeter: int
+    utilization: float
+    certified: bool
+    method: str
+    job_ids: List[str] = field(default_factory=list)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Residual overlap as a fraction of the unified perimeter."""
+        return self.overlap_ticks / self.unified_perimeter
+
+
+class CompatibilityChecker:
+    """Builds circles from job specs and runs the rotation solvers."""
+
+    def __init__(
+        self,
+        capacity: float = gbps(42),
+        ticks_per_second: int = 1000,
+        coverage_capacity: int = 1,
+    ) -> None:
+        """Create a checker.
+
+        Args:
+            capacity: Link bandwidth used to convert communication bytes to
+                arc lengths (the solo profiling bandwidth).
+            ticks_per_second: Geometry quantization. The default (1 tick =
+                1 ms) matches profiling granularity and keeps LCMs small;
+                raise it for sub-millisecond profiles.
+            coverage_capacity: Maximum jobs allowed to communicate in the
+                same sector (1 in the paper's formulation).
+        """
+        if ticks_per_second <= 0:
+            raise CompatibilityError("ticks_per_second must be > 0")
+        if coverage_capacity < 1:
+            raise CompatibilityError("coverage_capacity must be >= 1")
+        self.capacity = capacity
+        self.ticks_per_second = ticks_per_second
+        self.coverage_capacity = coverage_capacity
+
+    # ------------------------------------------------------------------
+    # Circle construction
+    # ------------------------------------------------------------------
+
+    def circle(self, spec: JobSpec) -> JobCircle:
+        """Quantize one job spec onto its circle."""
+        return JobCircle.from_job(
+            spec, self.capacity, ticks_per_second=self.ticks_per_second
+        )
+
+    def circles(self, specs: Sequence[JobSpec]) -> List[JobCircle]:
+        """Quantize many specs."""
+        return [self.circle(spec) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        specs: Sequence[JobSpec],
+        method: str = "auto",
+        seed: int = 0,
+    ) -> CompatibilityResult:
+        """Decide whether ``specs`` are fully compatible on one link."""
+        if not specs:
+            raise CompatibilityError("no jobs given")
+        return self.check_circles(self.circles(specs), method=method, seed=seed)
+
+    def check_circles(
+        self,
+        circles: Sequence[JobCircle],
+        method: str = "auto",
+        seed: int = 0,
+    ) -> CompatibilityResult:
+        """Decide compatibility for pre-built circles."""
+        unified = UnifiedCircle(circles)
+        outcome: SolverOutcome = solve(
+            circles,
+            capacity=self.coverage_capacity,
+            method=method,
+            seed=seed,
+        )
+        return CompatibilityResult(
+            compatible=outcome.found,
+            rotations=dict(outcome.rotations),
+            overlap_ticks=0 if outcome.found else outcome.overlap,
+            unified_perimeter=unified.perimeter,
+            utilization=unified.utilization_lower_bound(),
+            certified=outcome.found or outcome.complete,
+            method=outcome.method,
+            job_ids=[circle.job_id for circle in circles],
+        )
+
+    def check_incremental(
+        self,
+        placed_circles: Sequence[JobCircle],
+        placed_rotations: Dict[str, int],
+        new_circle: JobCircle,
+    ) -> CompatibilityResult:
+        """Can a new job join WITHOUT re-rotating the running jobs?
+
+        An online scheduler often cannot re-phase jobs that are already
+        training (re-sliding costs iterations); this admits the newcomer
+        only if a rotation exists against the *fixed* placed arcs. The
+        exact feasible set comes from the same interval arithmetic as the
+        offline solver, so a positive answer carries a certificate and a
+        negative answer is a proof **for the fixed placement** (the jobs
+        may still be compatible if everyone re-rotates — check with
+        :meth:`check_circles`).
+        """
+        from .arcs import ArcSet
+        from .optimize import feasible_rotations
+        from .unified import UnifiedCircle
+
+        all_circles = list(placed_circles) + [new_circle]
+        unified = UnifiedCircle(all_circles)
+        placed = ArcSet(unified.perimeter)
+        for circle in placed_circles:
+            delta = placed_rotations.get(circle.job_id, 0)
+            placed = placed.union(
+                circle.rotate(delta).tiled_comm(unified.perimeter)
+            )
+        feasible = feasible_rotations(placed, new_circle, unified.perimeter)
+        rotations = {
+            circle.job_id: placed_rotations.get(circle.job_id, 0)
+            for circle in placed_circles
+        }
+        if feasible.is_empty:
+            rotations[new_circle.job_id] = 0
+            overlap = unified.overlap_ticks(
+                rotations, capacity=self.coverage_capacity
+            )
+            return CompatibilityResult(
+                compatible=False,
+                rotations=rotations,
+                overlap_ticks=overlap,
+                unified_perimeter=unified.perimeter,
+                utilization=unified.utilization_lower_bound(),
+                certified=True,
+                method="incremental-infeasible",
+                job_ids=[c.job_id for c in all_circles],
+            )
+        rotations[new_circle.job_id] = feasible.intervals[0][0]
+        return CompatibilityResult(
+            compatible=True,
+            rotations=rotations,
+            overlap_ticks=0,
+            unified_perimeter=unified.perimeter,
+            utilization=unified.utilization_lower_bound(),
+            certified=True,
+            method="incremental",
+            job_ids=[c.job_id for c in all_circles],
+        )
+
+    def rotation_seconds(
+        self, result: CompatibilityResult
+    ) -> Dict[str, float]:
+        """Convert a result's rotations from ticks to seconds."""
+        return {
+            job_id: ticks / self.ticks_per_second
+            for job_id, ticks in result.rotations.items()
+        }

@@ -1,0 +1,733 @@
+"""Rotation solvers — the paper's optimization formulation.
+
+The paper searches for per-job rotation angles such that *no region of the
+unified circle has more than one job communicating* (§3, footnote 1: the
+circle is discretized into sectors with a coverage cap per sector). This
+module implements that search exactly on the integer-tick circle, plus
+approximate solvers for large instances:
+
+* :func:`feasible_rotations` — given arcs already placed on the unified
+  circle, the **exact** set of rotations of the next job that avoid all
+  collisions, computed by interval arithmetic (no sampling).
+* :func:`exact_pair_feasible_rotations` — for two jobs, the feasible set of
+  *relative* rotations reduced modulo ``gcd(P1, P2)``: because both tiled
+  patterns are periodic, collisions only depend on the relative shift
+  modulo the gcd of the periods. This makes pairwise checks O(arcs²) even
+  when the LCM is astronomically large (e.g. Table 1 group 3).
+* :func:`backtracking_search` — depth-first search placing one job at a
+  time, choosing rotations from the exact feasible set (boundary
+  candidates by default, every feasible tick in ``complete`` mode).
+* :func:`greedy_search` / :func:`annealing_search` /
+  :func:`exhaustive_search` — heuristics and a brute-force grid for
+  comparison and for the coverage-capacity > 1 generalization.
+* :func:`solve` — the facade with the escalation policy used by
+  :class:`repro.core.compatibility.CompatibilityChecker`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CompatibilityError, GeometryError
+from .arcs import ArcSet
+from .circle import JobCircle
+from .unified import UnifiedCircle
+
+#: Bail out of exact DFS when the placed union grows beyond this many
+#: intervals (keeps worst-case cost bounded; solve() then falls back).
+MAX_PLACED_INTERVALS = 20_000
+
+#: In ``complete`` candidate mode, refuse to enumerate feasible sets larger
+#: than this many ticks per level.
+MAX_COMPLETE_CANDIDATES = 200_000
+
+#: ``solve(method="auto")`` only escalates to the complete (proof-grade)
+#: DFS when the unified perimeter is at most this many ticks.
+COMPLETE_SEARCH_MAX_PERIMETER = 5_000
+
+#: Above this many tiled arcs, even heuristic search (and exact overlap
+#: reporting) is skipped — the caller should profile at a coarser tick
+#: granularity, which is precisely the paper's sector discretization.
+MAX_TILED_ARCS_FOR_SEARCH = 250_000
+
+
+def _tiled_arc_estimate(circles: Sequence[JobCircle], perimeter: int) -> int:
+    """Number of arcs all jobs produce when tiled on the unified circle."""
+    return sum(
+        len(circle.comm.intervals) * (perimeter // circle.perimeter)
+        for circle in circles
+    )
+
+
+def _overlap_or_bound(
+    unified: UnifiedCircle,
+    rotations: Dict[str, int],
+    capacity: int,
+) -> int:
+    """Exact overlap when tiling is affordable, else an analytic bound.
+
+    The bound is the utilization excess ``total_comm - capacity * P``
+    (never negative), which every rotation assignment must exceed.
+    """
+    estimate = _tiled_arc_estimate(unified.circles, unified.perimeter)
+    if estimate <= MAX_TILED_ARCS_FOR_SEARCH:
+        return unified.overlap_ticks(rotations, capacity=capacity)
+    return max(
+        0, unified.total_comm_ticks() - capacity * unified.perimeter
+    )
+
+
+@dataclass
+class SolverOutcome:
+    """Raw result of one solver invocation.
+
+    Attributes:
+        found: A zero-overlap rotation assignment was found.
+        rotations: Per-job rotation in ticks (modulo each job's perimeter).
+            Always populated with the best assignment seen.
+        overlap: Overlap ticks of ``rotations`` (0 when ``found``).
+        complete: The solver exhausted its search space, so a negative
+            answer is a proof of infeasibility.
+        method: Which solver produced this outcome.
+        nodes: Search nodes / evaluations used (diagnostics).
+    """
+
+    found: bool
+    rotations: Dict[str, int] = field(default_factory=dict)
+    overlap: int = 0
+    complete: bool = False
+    method: str = ""
+    nodes: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Exact feasible-set computation
+# ---------------------------------------------------------------------------
+
+def feasible_rotations(
+    placed: ArcSet,
+    circle: JobCircle,
+    unified: int,
+) -> ArcSet:
+    """Exact rotations of ``circle`` avoiding all placed arcs.
+
+    ``placed`` lives on the unified circle of perimeter ``unified``; the
+    job's rotation is periodic in its own perimeter ``P``, so the result is
+    an :class:`ArcSet` on a circle of perimeter ``P`` whose covered points
+    are the *feasible* rotations.
+
+    For every placed interval ``[a1, a2)`` and every base communication
+    arc ``[b1, b2)`` of the job, a rotation ``d`` collides iff some tile
+    ``b + d + i*P`` intersects ``[a1, a2)``; since ``i*P mod unified``
+    ranges over all multiples of ``P``, this happens exactly when
+    ``d mod P`` lies in an interval of length ``lenA + lenB - 1`` starting
+    at ``a1 - b1 - lenB + 1``.
+    """
+    period = circle.perimeter
+    if unified % period != 0:
+        raise GeometryError(
+            f"unified perimeter {unified} not a multiple of {period}"
+        )
+    if placed.perimeter != unified:
+        raise GeometryError("placed arcs must live on the unified circle")
+    forbidden: List[Tuple[int, int]] = []
+    for a1, a2 in placed.intervals:
+        len_a = a2 - a1
+        for b1, b2 in circle.comm.intervals:
+            len_b = b2 - b1
+            start = (a1 - b1 - len_b + 1) % period
+            forbidden.append((start, len_a + len_b - 1))
+    return ArcSet(period, forbidden).complement()
+
+
+def exact_pair_feasible_rotations(
+    first: JobCircle,
+    second: JobCircle,
+) -> ArcSet:
+    """Feasible relative rotations of ``second`` against ``first``.
+
+    Returned on a circle of perimeter ``g = gcd(P1, P2)``: both tiled
+    patterns are periodic, so whether a relative shift collides depends
+    only on the shift modulo ``g``. Any rotation ``d`` with ``d mod g``
+    in the returned set is collision-free on the full unified circle.
+
+    This is what makes pairwise compatibility checks cheap even when the
+    two iteration times are nearly coprime and the LCM is enormous.
+    """
+    g = math.gcd(first.perimeter, second.perimeter)
+    forbidden: List[Tuple[int, int]] = []
+    for a1, a2 in first.comm.intervals:
+        len_a = a2 - a1
+        for b1, b2 in second.comm.intervals:
+            len_b = b2 - b1
+            start = (a1 - b1 - len_b + 1) % g
+            forbidden.append((start, len_a + len_b - 1))
+    return ArcSet(g, forbidden).complement()
+
+
+def pair_compatible(first: JobCircle, second: JobCircle) -> Optional[int]:
+    """A collision-free rotation for ``second`` (``first`` fixed), or None."""
+    feasible = exact_pair_feasible_rotations(first, second)
+    if feasible.is_empty:
+        return None
+    return feasible.intervals[0][0]
+
+
+# ---------------------------------------------------------------------------
+# Depth-first search over exact feasible sets
+# ---------------------------------------------------------------------------
+
+def backtracking_search(
+    circles: Sequence[JobCircle],
+    max_nodes: int = 100_000,
+    candidate_mode: str = "boundaries",
+    orders: Optional[int] = None,
+) -> SolverOutcome:
+    """DFS placing jobs one at a time from exact feasible rotation sets.
+
+    Args:
+        circles: Jobs to place (coverage capacity 1 only).
+        max_nodes: Search-node budget across all orders.
+        candidate_mode: ``"boundaries"`` tries the start of every feasible
+            interval (fast, excellent in practice); ``"complete"`` tries
+            every feasible tick, making a negative answer a proof.
+        orders: How many job orders to try (None = all permutations for up
+            to 5 jobs, otherwise 6 deterministic rotations of a size-sorted
+            order).
+
+    Returns:
+        A :class:`SolverOutcome`; ``complete`` is set when the search space
+        was exhausted under ``candidate_mode="complete"``.
+    """
+    if candidate_mode not in ("boundaries", "complete"):
+        raise CompatibilityError(f"unknown candidate mode {candidate_mode!r}")
+    unified = UnifiedCircle(circles)
+    perimeter = unified.perimeter
+    n = len(circles)
+    if n == 0:
+        raise CompatibilityError("no circles to place")
+
+    ordered_indices: List[Tuple[int, ...]]
+    if orders is None and n <= 5:
+        ordered_indices = list(itertools.permutations(range(n)))
+    else:
+        by_size = sorted(
+            range(n), key=lambda i: -circles[i].comm.measure
+        )
+        count = orders if orders is not None else 6
+        ordered_indices = [
+            tuple(by_size[k:] + by_size[:k]) for k in range(min(count, n))
+        ]
+
+    nodes = 0
+    truncated = False
+
+    def dfs(
+        order: Tuple[int, ...],
+        depth: int,
+        placed: ArcSet,
+        rotations: Dict[str, int],
+    ) -> Optional[Dict[str, int]]:
+        nonlocal nodes, truncated
+        if depth == len(order):
+            return dict(rotations)
+        if nodes >= max_nodes or len(placed.intervals) > MAX_PLACED_INTERVALS:
+            truncated = True
+            return None
+        circle = circles[order[depth]]
+        if placed.is_empty:
+            feasible = ArcSet(circle.perimeter, [(0, circle.perimeter)])
+        else:
+            feasible = feasible_rotations(placed, circle, perimeter)
+        if feasible.is_empty:
+            return None
+        if candidate_mode == "boundaries":
+            candidates = [start for start, _ in feasible.intervals]
+        else:
+            if feasible.measure > MAX_COMPLETE_CANDIDATES:
+                truncated = True
+                candidates = [start for start, _ in feasible.intervals]
+            else:
+                candidates = [
+                    tick
+                    for start, end in feasible.intervals
+                    for tick in range(start, end)
+                ]
+        for delta in candidates:
+            nodes += 1
+            if nodes > max_nodes:
+                truncated = True
+                return None
+            rotated = circle.rotate(delta).tiled_comm(perimeter)
+            rotations[circle.job_id] = delta
+            result = dfs(order, depth + 1, placed.union(rotated), rotations)
+            if result is not None:
+                return result
+            del rotations[circle.job_id]
+        return None
+
+    for order in ordered_indices:
+        found = dfs(order, 0, ArcSet(perimeter), {})
+        if found is not None:
+            full = {circle.job_id: found.get(circle.job_id, 0)
+                    for circle in circles}
+            return SolverOutcome(
+                found=True,
+                rotations=full,
+                overlap=0,
+                complete=True,
+                method=f"backtracking-{candidate_mode}",
+                nodes=nodes,
+            )
+        if truncated:
+            break
+
+    return SolverOutcome(
+        found=False,
+        rotations={circle.job_id: 0 for circle in circles},
+        overlap=unified.overlap_ticks(),
+        complete=(candidate_mode == "complete") and not truncated,
+        method=f"backtracking-{candidate_mode}",
+        nodes=nodes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Heuristics
+# ---------------------------------------------------------------------------
+
+def greedy_search(circles: Sequence[JobCircle]) -> SolverOutcome:
+    """Largest-job-first placement into exact feasible gaps.
+
+    Places jobs in decreasing order of communication length; each job takes
+    the first feasible rotation against everything placed so far, or — if
+    none exists — the rotation minimizing the added overlap among gap
+    boundaries. Fast and good, but a miss is not a proof.
+    """
+    unified = UnifiedCircle(circles)
+    perimeter = unified.perimeter
+    order = sorted(circles, key=lambda c: -c.comm.measure)
+    placed = ArcSet(perimeter)
+    rotations: Dict[str, int] = {}
+    nodes = 0
+    for circle in order:
+        if placed.is_empty:
+            rotations[circle.job_id] = 0
+            placed = circle.tiled_comm(perimeter)
+            continue
+        feasible = feasible_rotations(placed, circle, perimeter)
+        nodes += 1
+        if not feasible.is_empty:
+            delta = feasible.intervals[0][0]
+        else:
+            # Minimize added overlap over boundary-aligned candidates.
+            candidates = {0}
+            for gap_start, _ in placed.gaps():
+                for b1, _ in circle.comm.intervals:
+                    candidates.add((gap_start - b1) % circle.perimeter)
+            best_delta, best_cost = 0, None
+            for candidate in sorted(candidates):
+                cost = placed.overlap_length(
+                    circle.rotate(candidate).tiled_comm(perimeter)
+                )
+                nodes += 1
+                if best_cost is None or cost < best_cost:
+                    best_delta, best_cost = candidate, cost
+            delta = best_delta
+        rotations[circle.job_id] = delta
+        placed = placed.union(circle.rotate(delta).tiled_comm(perimeter))
+    overlap = unified.overlap_ticks(rotations)
+    return SolverOutcome(
+        found=overlap == 0,
+        rotations={c.job_id: rotations.get(c.job_id, 0) for c in circles},
+        overlap=overlap,
+        complete=False,
+        method="greedy",
+        nodes=nodes,
+    )
+
+
+class _OverlapEvaluator:
+    """Fast repeated evaluation of overlap cost under rotations.
+
+    Tiles every job once at rotation zero and, per query, shifts the
+    cached interval endpoints and sweeps them with vectorized numpy — a
+    rotated tiling equals the tiling rotated, so no re-tiling is needed.
+    """
+
+    def __init__(self, circles: Sequence[JobCircle]) -> None:
+        self._unified = UnifiedCircle(circles)
+        perimeter = self._unified.perimeter
+        tiled = self._unified.tiled()
+        self._starts: Dict[str, np.ndarray] = {}
+        self._ends: Dict[str, np.ndarray] = {}
+        for job_id, arcset in tiled.items():
+            # Join the split-at-zero pair back into one modular interval
+            # so a rotation never changes the interval count.
+            intervals = list(arcset.intervals)
+            if (
+                len(intervals) >= 2
+                and intervals[0][0] == 0
+                and intervals[-1][1] == perimeter
+            ):
+                first = intervals.pop(0)
+                last = intervals.pop()
+                intervals.append((last[0], perimeter + first[1]))
+            self._starts[job_id] = np.asarray(
+                [s for s, _ in intervals], dtype=np.int64
+            )
+            self._ends[job_id] = np.asarray(
+                [e for _, e in intervals], dtype=np.int64
+            )
+
+    @property
+    def perimeter(self) -> int:
+        """Unified-circle perimeter."""
+        return self._unified.perimeter
+
+    def cost(self, rotations: Dict[str, int], capacity: int) -> int:
+        """Ticks covered by more than ``capacity`` jobs."""
+        perimeter = self._unified.perimeter
+        starts_list = []
+        ends_list = []
+        base_count = 0
+        for job_id, starts in self._starts.items():
+            delta = rotations.get(job_id, 0)
+            s = (starts + delta) % perimeter
+            e = (self._ends[job_id] + delta) % perimeter
+            # Intervals that wrap contribute +1 at position 0.
+            base_count += int(np.count_nonzero(e <= s))
+            starts_list.append(s)
+            ends_list.append(e)
+        all_starts = np.concatenate(starts_list)
+        all_ends = np.concatenate(ends_list)
+        positions = np.concatenate([all_starts, all_ends, [0, perimeter]])
+        deltas = np.concatenate(
+            [
+                np.ones(all_starts.size, dtype=np.int64),
+                -np.ones(all_ends.size, dtype=np.int64),
+                [0, 0],
+            ]
+        )
+        order = np.argsort(positions, kind="stable")
+        positions = positions[order]
+        deltas = deltas[order]
+        counts = base_count + np.cumsum(deltas)
+        # counts[i] is the coverage on [positions[i], positions[i+1]).
+        widths = np.diff(positions)
+        over = counts[:-1] > capacity
+        return int(widths[over].sum())
+
+
+def annealing_search(
+    circles: Sequence[JobCircle],
+    capacity: int = 1,
+    iterations: Optional[int] = None,
+    restarts: int = 4,
+    seed: int = 0,
+) -> SolverOutcome:
+    """Simulated annealing over integer rotations.
+
+    Minimizes the number of ticks covered by more than ``capacity`` jobs.
+    Works for any coverage capacity (the generalization the paper sketches
+    for GPU multi-tenancy) and for instances too large for exact search.
+    ``iterations`` defaults to a budget scaled inversely with the tiled
+    arc count, keeping one call around a hundred milliseconds even on
+    unified circles with thousands of arcs.
+    """
+    if capacity < 1:
+        raise CompatibilityError(f"capacity must be >= 1, got {capacity}")
+    unified = UnifiedCircle(circles)
+    evaluator = _OverlapEvaluator(circles)
+    if iterations is None:
+        total_arcs = sum(
+            len(circle.comm.intervals)
+            * (unified.perimeter // circle.perimeter)
+            for circle in circles
+        )
+        iterations = max(600, min(4000, 1_000_000 // max(total_arcs, 1)))
+    rng = np.random.default_rng(seed)
+    job_ids = [circle.job_id for circle in circles]
+    periods = {circle.job_id: circle.perimeter for circle in circles}
+
+    def cost(rotations: Dict[str, int]) -> int:
+        return evaluator.cost(rotations, capacity)
+
+    best_rotations = {job_id: 0 for job_id in job_ids}
+    best_cost = cost(best_rotations)
+    nodes = 1
+    for restart in range(restarts):
+        if best_cost == 0:
+            break
+        current = {
+            job_id: int(rng.integers(periods[job_id]))
+            for job_id in job_ids
+        }
+        current_cost = cost(current)
+        temperature_scale = max(unified.perimeter // 10, 1)
+        for step in range(iterations):
+            nodes += 1
+            temperature = temperature_scale * (1.0 - step / iterations) + 1e-9
+            job_id = job_ids[int(rng.integers(len(job_ids)))]
+            period = periods[job_id]
+            # Mix fine and coarse moves so the walk can both slide into a
+            # gap and jump across the circle.
+            if rng.random() < 0.5:
+                shift = int(rng.integers(1, max(period // 20, 2)))
+            else:
+                shift = int(rng.integers(period))
+            candidate = dict(current)
+            candidate[job_id] = (current[job_id] + shift) % period
+            candidate_cost = cost(candidate)
+            accept = candidate_cost <= current_cost or (
+                rng.random()
+                < np.exp((current_cost - candidate_cost) / temperature)
+            )
+            if accept:
+                current, current_cost = candidate, candidate_cost
+                if current_cost < best_cost:
+                    best_rotations, best_cost = dict(current), current_cost
+                    if best_cost == 0:
+                        break
+    return SolverOutcome(
+        found=best_cost == 0,
+        rotations=best_rotations,
+        overlap=best_cost,
+        complete=False,
+        method="annealing",
+        nodes=nodes,
+    )
+
+
+def exhaustive_search(
+    circles: Sequence[JobCircle],
+    capacity: int = 1,
+    steps_per_job: int = 36,
+    max_evaluations: int = 2_000_000,
+) -> SolverOutcome:
+    """Brute-force grid over rotations (the paper's sector discretization).
+
+    Each job's rotation is sampled at ``steps_per_job`` evenly spaced
+    angles — exactly the discretized formulation the paper describes. Used
+    for cross-checking the exact solvers and for the sector-count ablation;
+    exponential in the number of jobs.
+    """
+    if capacity < 1:
+        raise CompatibilityError(f"capacity must be >= 1, got {capacity}")
+    if steps_per_job < 1:
+        raise CompatibilityError("steps_per_job must be >= 1")
+    unified = UnifiedCircle(circles)
+    grids: List[List[int]] = []
+    total = 1
+    for circle in circles:
+        step = max(circle.perimeter // steps_per_job, 1)
+        grid = list(range(0, circle.perimeter, step))
+        grids.append(grid)
+        total *= len(grid)
+    if total > max_evaluations:
+        raise CompatibilityError(
+            f"grid of {total} evaluations exceeds budget {max_evaluations}; "
+            f"reduce steps_per_job or use annealing_search"
+        )
+    job_ids = [circle.job_id for circle in circles]
+    best_rotations = {job_id: 0 for job_id in job_ids}
+    best_cost: Optional[int] = None
+    nodes = 0
+    for combo in itertools.product(*grids):
+        nodes += 1
+        rotations = dict(zip(job_ids, combo))
+        cost = unified.overlap_ticks(rotations, capacity=capacity)
+        if best_cost is None or cost < best_cost:
+            best_cost, best_rotations = cost, rotations
+            if best_cost == 0:
+                break
+    return SolverOutcome(
+        found=best_cost == 0,
+        rotations=best_rotations,
+        overlap=int(best_cost or 0),
+        complete=best_cost == 0,
+        method=f"exhaustive-{steps_per_job}",
+        nodes=nodes,
+    )
+
+
+def solve_fractional(
+    circles: Sequence[JobCircle],
+    capacity: float = 1.0,
+    iterations: int = 5000,
+    restarts: int = 4,
+    seed: int = 0,
+) -> SolverOutcome:
+    """Rotation search under fractional link demands (§5).
+
+    Each circle carries a ``demand`` in (0, 1]; jobs may overlap as long
+    as the sum of demands stays within ``capacity`` at every point. A job
+    demanding the full link reduces to the classic formulation. Solved by
+    annealing on the demand-weighted overlap (the exact DFS machinery
+    does not apply because constraints are no longer pairwise-disjoint).
+    """
+    if capacity <= 0:
+        raise CompatibilityError(f"capacity must be > 0, got {capacity}")
+    unified = UnifiedCircle(circles)
+    rng = np.random.default_rng(seed)
+    job_ids = [circle.job_id for circle in circles]
+    periods = {circle.job_id: circle.perimeter for circle in circles}
+
+    def cost(rotations: Dict[str, int]) -> int:
+        return unified.fractional_overlap_ticks(rotations, capacity)
+
+    best_rotations = {job_id: 0 for job_id in job_ids}
+    best_cost = cost(best_rotations)
+    nodes = 1
+    for _restart in range(restarts):
+        if best_cost == 0:
+            break
+        current = {
+            job_id: int(rng.integers(periods[job_id])) for job_id in job_ids
+        }
+        current_cost = cost(current)
+        scale = max(unified.perimeter // 10, 1)
+        for step in range(iterations):
+            nodes += 1
+            temperature = scale * (1.0 - step / iterations) + 1e-9
+            job_id = job_ids[int(rng.integers(len(job_ids)))]
+            period = periods[job_id]
+            if rng.random() < 0.5:
+                shift = int(rng.integers(1, max(period // 20, 2)))
+            else:
+                shift = int(rng.integers(period))
+            candidate = dict(current)
+            candidate[job_id] = (current[job_id] + shift) % period
+            candidate_cost = cost(candidate)
+            if candidate_cost <= current_cost or rng.random() < np.exp(
+                (current_cost - candidate_cost) / temperature
+            ):
+                current, current_cost = candidate, candidate_cost
+                if current_cost < best_cost:
+                    best_rotations, best_cost = dict(current), current_cost
+                    if best_cost == 0:
+                        break
+    return SolverOutcome(
+        found=best_cost == 0,
+        rotations=best_rotations,
+        overlap=best_cost,
+        complete=False,
+        method="fractional-annealing",
+        nodes=nodes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Facade
+# ---------------------------------------------------------------------------
+
+def solve(
+    circles: Sequence[JobCircle],
+    capacity: int = 1,
+    method: str = "auto",
+    seed: int = 0,
+) -> SolverOutcome:
+    """Decide compatibility and find rotations.
+
+    ``method="auto"`` escalates: utilization bound -> exact pairwise checks
+    (capacity 1) -> boundary DFS -> complete DFS (when affordable) ->
+    annealing. The outcome's ``complete`` flag records whether a negative
+    answer is proven.
+    """
+    if not circles:
+        raise CompatibilityError("no circles given")
+    if capacity < 1:
+        raise CompatibilityError(f"capacity must be >= 1, got {capacity}")
+
+    if method == "greedy":
+        return greedy_search(circles)
+    if method == "annealing":
+        return annealing_search(circles, capacity=capacity, seed=seed)
+    if method == "exhaustive":
+        return exhaustive_search(circles, capacity=capacity)
+    if method == "backtracking":
+        return backtracking_search(circles)
+    if method != "auto":
+        raise CompatibilityError(f"unknown method {method!r}")
+
+    unified = UnifiedCircle(circles)
+    if len(circles) == 1:
+        return SolverOutcome(
+            found=True,
+            rotations={circles[0].job_id: 0},
+            overlap=0,
+            complete=True,
+            method="trivial",
+        )
+
+    zero_rotations = {circle.job_id: 0 for circle in circles}
+
+    # Necessary condition: total communication must fit in the period.
+    if unified.total_comm_ticks() > capacity * unified.perimeter:
+        return SolverOutcome(
+            found=False,
+            rotations=zero_rotations,
+            overlap=_overlap_or_bound(unified, zero_rotations, capacity),
+            complete=True,
+            method="utilization-bound",
+        )
+
+    if capacity == 1:
+        # Exact pairwise screens (cheap even for huge LCMs).
+        for first, second in itertools.combinations(circles, 2):
+            if exact_pair_feasible_rotations(first, second).is_empty:
+                return SolverOutcome(
+                    found=False,
+                    rotations=zero_rotations,
+                    overlap=_overlap_or_bound(
+                        unified, zero_rotations, capacity
+                    ),
+                    complete=True,
+                    method=f"pairwise({first.job_id},{second.job_id})",
+                )
+        if len(circles) == 2:
+            first, second = circles
+            delta = pair_compatible(first, second)
+            # Pairwise screen above guarantees delta exists here.
+            return SolverOutcome(
+                found=True,
+                rotations={first.job_id: 0, second.job_id: int(delta)},
+                overlap=0,
+                complete=True,
+                method="exact-pair",
+            )
+        tiled_arc_estimate = _tiled_arc_estimate(circles, unified.perimeter)
+        if tiled_arc_estimate <= MAX_PLACED_INTERVALS:
+            outcome = backtracking_search(circles)
+            if outcome.found:
+                return outcome
+            # A complete enumeration proves infeasibility but touches every
+            # feasible tick; only affordable on small unified circles.
+            if unified.perimeter <= COMPLETE_SEARCH_MAX_PERIMETER:
+                complete = backtracking_search(
+                    circles, candidate_mode="complete", max_nodes=500_000
+                )
+                if complete.found or complete.complete:
+                    return complete
+
+    if (
+        _tiled_arc_estimate(circles, unified.perimeter)
+        > MAX_TILED_ARCS_FOR_SEARCH
+    ):
+        # Tiling alone would dominate; tell the caller to coarsen the
+        # profiling granularity (the paper's sector discretization) rather
+        # than silently burning minutes.
+        return SolverOutcome(
+            found=False,
+            rotations=zero_rotations,
+            overlap=_overlap_or_bound(unified, zero_rotations, capacity),
+            complete=False,
+            method="instance-too-large",
+        )
+    outcome = annealing_search(circles, capacity=capacity, seed=seed)
+    return outcome

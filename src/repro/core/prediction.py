@@ -1,0 +1,96 @@
+"""Analytic steady-state iteration-time predictions.
+
+Closed-form bounds and estimates that cross-check the simulator:
+
+* **solo** — ``compute + bytes/capacity``: no schedule can beat it.
+* **link-saturation bound** — when jobs share a link, over any unified
+  period the link must carry every job's bytes, so a job's steady period
+  is at least the total communication time of its link (when total
+  demand exceeds the period, the period stretches to fit).
+* **fair-lockstep estimate** — identical jobs starting together under
+  fair sharing stay overlapped forever at ``compute + n * comm_solo``
+  (the Figure 2a pathology).
+
+The integration test suite asserts the simulator respects the bounds and
+matches the estimates in their regimes of validity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import WorkloadError
+from ..workloads.job import JobSpec
+
+
+def solo_iteration_time(spec: JobSpec, capacity: float) -> float:
+    """Dedicated-network iteration time (the paper's target), seconds."""
+    return spec.solo_iteration_time(capacity)
+
+
+def steady_period_lower_bound(
+    spec: JobSpec,
+    sharers: Sequence[JobSpec],
+    capacity: float,
+) -> float:
+    """Smallest steady-state period ``spec`` can sustain on a shared link.
+
+    Args:
+        spec: The job of interest.
+        sharers: Every job sharing the link, **including** ``spec``.
+        capacity: Link capacity, bytes/s.
+
+    The link must move all sharers' bytes once per their (common) period;
+    with equal periods the feasible period is at least the total
+    communication time, and never below the job's own solo time.
+    """
+    if spec.job_id not in {s.job_id for s in sharers}:
+        raise WorkloadError("sharers must include the job itself")
+    total_comm = sum(s.solo_comm_time(capacity) for s in sharers)
+    return max(spec.solo_iteration_time(capacity), total_comm)
+
+
+def fair_lockstep_iteration_time(
+    specs: Sequence[JobSpec],
+    capacity: float,
+) -> float:
+    """Iteration time of identical jobs locked together under fair
+    sharing: ``compute + n * comm_solo`` (Figure 2a).
+
+    Raises:
+        WorkloadError: if the specs are not mutually identical in their
+            phase profile (the lockstep argument needs symmetry).
+    """
+    if not specs:
+        raise WorkloadError("no specs given")
+    first = specs[0]
+    for spec in specs[1:]:
+        same = (
+            abs(spec.compute_time - first.compute_time) < 1e-12
+            and abs(spec.comm_bytes - first.comm_bytes) < 1e-3
+        )
+        if not same:
+            raise WorkloadError(
+                "fair-lockstep estimate needs identical phase profiles"
+            )
+    return first.compute_time + len(specs) * first.solo_comm_time(capacity)
+
+
+def unfairness_speedup_estimate(
+    specs: Sequence[JobSpec],
+    capacity: float,
+) -> float:
+    """Predicted fair-over-unfair speedup for identical compatible jobs.
+
+    Fair lockstep runs at ``C + n*T``; perfect interleaving runs at
+    ``max(solo, n*T)``. Their ratio is the best unfairness can deliver —
+    e.g. the DLRM pair: ``(701 + 600) / max(1001, 600) = 1.30``, which is
+    exactly the paper's Table 1 group 2 speedup.
+    """
+    fair = fair_lockstep_iteration_time(specs, capacity)
+    first = specs[0]
+    interleaved = max(
+        first.solo_iteration_time(capacity),
+        len(specs) * first.solo_comm_time(capacity),
+    )
+    return fair / interleaved

@@ -1,0 +1,84 @@
+"""Rotation-angle conversions and communication schedules.
+
+The paper's flow-scheduling direction (§4, iii) observes that a rotation
+angle "corresponds to a time-shift for the communication phase of a job":
+the scheduler can release each job's flows at precise times so the phases
+never collide. This module converts solver rotations into degrees (as in
+Figure 5d's "30° counterclockwise") and into the per-job communication
+windows a gate enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import GeometryError
+from .circle import JobCircle
+from .unified import UnifiedCircle
+
+
+def rotation_to_seconds(ticks: int, ticks_per_second: float) -> float:
+    """Convert a rotation in ticks to a time shift in seconds."""
+    if ticks_per_second <= 0:
+        raise GeometryError("ticks_per_second must be > 0")
+    return ticks / ticks_per_second
+
+
+def rotation_to_degrees(ticks: int, perimeter: int) -> float:
+    """Rotation angle in degrees on a circle of ``perimeter`` ticks.
+
+    Figure 5d expresses J1's 10 ms shift on the 120 ms unified circle as a
+    30° counterclockwise rotation: ``360 * 10 / 120 = 30``.
+    """
+    if perimeter <= 0:
+        raise GeometryError("perimeter must be > 0")
+    return 360.0 * (ticks % perimeter) / perimeter
+
+
+def degrees_to_rotation(degrees: float, perimeter: int) -> int:
+    """Inverse of :func:`rotation_to_degrees` (nearest tick)."""
+    if perimeter <= 0:
+        raise GeometryError("perimeter must be > 0")
+    return round(degrees / 360.0 * perimeter) % perimeter
+
+
+@dataclass(frozen=True)
+class CommWindow:
+    """One job's permitted communication window on the unified period.
+
+    ``start`` and ``length`` are in ticks on the unified circle; the
+    window repeats every ``period`` ticks (the unified perimeter).
+    """
+
+    job_id: str
+    start: int
+    length: int
+    period: int
+
+
+def communication_schedule(
+    circles: Sequence[JobCircle],
+    rotations: Mapping[str, int],
+) -> Dict[str, List[CommWindow]]:
+    """Turn solver rotations into per-job communication windows.
+
+    Each window is one rotated communication arc on the unified circle;
+    for compatible rotations the windows of different jobs are disjoint —
+    a ready-made TDMA-style schedule for the central flow scheduler.
+    """
+    unified = UnifiedCircle(circles)
+    tiled = unified.tiled(dict(rotations))
+    schedule: Dict[str, List[CommWindow]] = {}
+    for circle in circles:
+        arcs = tiled[circle.job_id]
+        schedule[circle.job_id] = [
+            CommWindow(
+                job_id=circle.job_id,
+                start=start,
+                length=end - start,
+                period=unified.perimeter,
+            )
+            for start, end in arcs.intervals
+        ]
+    return schedule

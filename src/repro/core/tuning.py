@@ -1,0 +1,147 @@
+"""Hyper-parameter tuning for compatibility (§5).
+
+The paper observes that a job's circle is a function of its
+hyper-parameters — batch size moves the compute phase, worker count and
+allreduce algorithm move the communication arc — which gives the
+scheduler "an opportunity ... to adjust the hyper-parameters to improve
+the compatibility of jobs sharing links".
+
+:func:`suggest_compute_scaling` searches small per-job compute-phase
+scalings (the batch-size lever: compute time is linear in batch size
+while gradient size — hence the communication arc — is unchanged) that
+turn an incompatible set into a fully compatible one, preferring the
+smallest total adjustment and touching as few jobs as possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CompatibilityError
+from .circle import JobCircle
+from .optimize import solve
+
+
+@dataclass(frozen=True)
+class TuningSuggestion:
+    """A compatibility-restoring hyper-parameter adjustment.
+
+    Attributes:
+        scales: Per-job compute-phase scale factor (1.0 = untouched).
+            A scale of 1.05 means "grow the batch ~5%".
+        circles: The adjusted circles (same job ids).
+        rotations: The certificate rotations for the adjusted set.
+        total_adjustment: Sum of ``|scale - 1|`` across jobs (the cost).
+    """
+
+    scales: Dict[str, float]
+    circles: Tuple[JobCircle, ...]
+    rotations: Dict[str, int]
+    total_adjustment: float
+
+    @property
+    def jobs_touched(self) -> int:
+        """Jobs whose compute phase was actually changed."""
+        return sum(1 for scale in self.scales.values() if scale != 1.0)
+
+
+def scale_compute(circle: JobCircle, scale: float) -> JobCircle:
+    """A copy of ``circle`` with its compute phase scaled by ``scale``.
+
+    Only the canonical one-arc layout (compute then communication) is
+    supported, since batch-size scaling stretches the whole forward pass.
+    """
+    if scale <= 0:
+        raise CompatibilityError(f"scale must be > 0, got {scale}")
+    intervals = circle.comm.intervals
+    if len(intervals) != 1:
+        raise CompatibilityError(
+            f"{circle.job_id}: compute scaling needs a single comm arc"
+        )
+    (start, end), = intervals
+    compute_ticks = circle.perimeter - (end - start)
+    comm_ticks = end - start
+    new_compute = max(0, round(compute_ticks * scale))
+    return JobCircle.from_phases(
+        circle.job_id, new_compute, comm_ticks, demand=circle.demand
+    )
+
+
+def suggest_compute_scaling(
+    circles: Sequence[JobCircle],
+    max_scale_change: float = 0.25,
+    steps: int = 10,
+    max_jobs_touched: int = 2,
+    seed: int = 0,
+) -> Optional[TuningSuggestion]:
+    """Search compute-phase scalings that make the set compatible.
+
+    Args:
+        circles: The (typically incompatible) job set.
+        max_scale_change: Largest allowed ``|scale - 1|`` per job.
+        steps: Grid resolution per job within the allowed range.
+        max_jobs_touched: Try adjusting at most this many jobs at once
+            (subsets are explored smallest-first, so the suggestion
+            touches as few jobs as possible).
+        seed: Seed forwarded to the rotation solver.
+
+    Returns:
+        The cheapest suggestion found, or ``None`` if nothing within the
+        budget restores compatibility. If the set is already compatible,
+        the identity suggestion (all scales 1.0) is returned.
+    """
+    if not circles:
+        raise CompatibilityError("no circles given")
+    if max_scale_change <= 0 or steps < 1:
+        raise CompatibilityError("need max_scale_change > 0 and steps >= 1")
+
+    baseline = solve(list(circles), seed=seed)
+    if baseline.found:
+        return TuningSuggestion(
+            scales={c.job_id: 1.0 for c in circles},
+            circles=tuple(circles),
+            rotations=dict(baseline.rotations),
+            total_adjustment=0.0,
+        )
+
+    grid = sorted(
+        {
+            round(1.0 + sign * max_scale_change * k / steps, 6)
+            for k in range(1, steps + 1)
+            for sign in (1, -1)
+        },
+        key=lambda scale: abs(scale - 1.0),
+    )
+    job_ids = [circle.job_id for circle in circles]
+    by_id = {circle.job_id: circle for circle in circles}
+
+    best: Optional[TuningSuggestion] = None
+    budget = min(max_jobs_touched, len(job_ids))
+    for subset_size in range(1, budget + 1):
+        for subset in itertools.combinations(job_ids, subset_size):
+            for combo in itertools.product(grid, repeat=subset_size):
+                adjustment = sum(abs(scale - 1.0) for scale in combo)
+                if best is not None and adjustment >= best.total_adjustment:
+                    continue
+                scales = {job_id: 1.0 for job_id in job_ids}
+                scales.update(dict(zip(subset, combo)))
+                adjusted = [
+                    scale_compute(by_id[job_id], scales[job_id])
+                    if scales[job_id] != 1.0
+                    else by_id[job_id]
+                    for job_id in job_ids
+                ]
+                outcome = solve(adjusted, seed=seed)
+                if outcome.found:
+                    best = TuningSuggestion(
+                        scales=scales,
+                        circles=tuple(adjusted),
+                        rotations=dict(outcome.rotations),
+                        total_adjustment=adjustment,
+                    )
+        if best is not None:
+            # A smaller subset already succeeded; no need to touch more.
+            break
+    return best

@@ -1,0 +1,57 @@
+"""Experiment drivers: one module per paper artifact.
+
+Each driver returns a structured result object and has a ``main()`` that
+prints the paper-vs-measured comparison; the benchmarks in ``benchmarks/``
+wrap the same functions with ``pytest-benchmark``.
+
+========  =========================================  =======================
+artifact  what it shows                              driver
+========  =========================================  =======================
+Fig. 1b/c per-job bandwidth, fair vs T-skewed DCQCN  :mod:`.figure1`
+Fig. 1d   CDF of iteration times over 1k iterations :mod:`.figure1`
+Fig. 2    link utilization, the sliding effect      :mod:`.figure2`
+Fig. 3    the VGG16 circle                           :mod:`.figure3`
+Fig. 4    rotation finds non-colliding overlay       :mod:`.figure4`
+Fig. 5    unified circle, LCM(40,60)=120, 30° turn   :mod:`.figure5`
+Table 1   five groups, fair vs unfair, verdicts      :mod:`.table1`
+§4 (i)    adaptively-unfair CC                       :mod:`.ablations`
+§4 (ii)   switch priority queues                     :mod:`.mechanisms_exp`
+§4 (iii)  precise flow scheduling                    :mod:`.mechanisms_exp`
+§4-§5     compatibility-aware placement              :mod:`.scheduler_exp`
+(valid.)  raw-DCQCN cross-fidelity check             :mod:`.crossfidelity`
+§5        cluster-level / multi-tenancy / tuning     :mod:`.extensions`
+(survey)  population compatibility sweep             :mod:`.sweep`
+========  =========================================  =======================
+"""
+
+from . import (
+    common,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    table1,
+    ablations,
+    mechanisms_exp,
+    scheduler_exp,
+    crossfidelity,
+    extensions,
+    sweep,
+)
+
+__all__ = [
+    "common",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "table1",
+    "ablations",
+    "mechanisms_exp",
+    "scheduler_exp",
+    "crossfidelity",
+    "extensions",
+    "sweep",
+]

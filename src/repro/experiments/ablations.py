@@ -1,0 +1,381 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* :func:`adaptive_cc_experiment` — §4(i): the adaptively-unfair rule
+  should drive *compatible* jobs to near-solo iteration times while
+  leaving *incompatible* jobs no worse than fair sharing.
+* :func:`sector_sensitivity` — the paper discretizes the circle into
+  sectors; how coarse can the grid get before the formulation misses a
+  feasible rotation?
+* :func:`solver_comparison` — exact DFS vs greedy vs annealing vs the
+  discretized grid, on instances where ground truth is known.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.report import ascii_table
+from ..cc.adaptive import AdaptiveUnfair
+from ..cc.fair import FairSharing
+from ..core.circle import JobCircle
+from ..core.optimize import (
+    SolverOutcome,
+    annealing_search,
+    backtracking_search,
+    exhaustive_search,
+    greedy_search,
+)
+from ..workloads.job import JobSpec
+from ..workloads.profiles import EFFECTIVE_BOTTLENECK, table1_groups
+from .common import run_jobs
+
+
+# ---------------------------------------------------------------------------
+# Adaptive congestion control (§4, direction i)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AdaptiveCcResult:
+    """Fair vs adaptive iteration times for one job group."""
+
+    group_name: str
+    compatible: bool
+    fair_ms: Dict[str, float]
+    adaptive_ms: Dict[str, float]
+    solo_ms: Dict[str, float]
+
+    @property
+    def speedups(self) -> Dict[str, float]:
+        """Fair over adaptive, per job."""
+        return {
+            job: self.fair_ms[job] / self.adaptive_ms[job]
+            for job in self.fair_ms
+        }
+
+    @property
+    def worst_regression(self) -> float:
+        """Smallest speedup — below ~0.98 means adaptive hurt someone."""
+        return min(self.speedups.values())
+
+
+def adaptive_cc_experiment(
+    n_iterations: int = 60,
+    skip: int = 20,
+    desync: float = 0.007,
+    seed: int = 0,
+) -> List[AdaptiveCcResult]:
+    """Run a compatible and an incompatible Table 1 group under the
+    adaptive policy.
+
+    Jobs start ``desync`` seconds apart: perfectly synchronized identical
+    jobs have identical progress and hence identical adaptive weights — a
+    measure-zero symmetry real clusters never exhibit.
+    """
+    groups = table1_groups()
+    chosen = [groups[1], groups[0]]  # group2 (compatible), group1 (not)
+    results: List[AdaptiveCcResult] = []
+    for group in chosen:
+        specs = group.specs
+        offsets = {
+            spec.job_id: index * desync for index, spec in enumerate(specs)
+        }
+        fair = run_jobs(
+            specs, FairSharing(), n_iterations=n_iterations,
+            start_offsets=offsets, seed=seed,
+        )
+        adaptive = run_jobs(
+            specs, AdaptiveUnfair(), n_iterations=n_iterations,
+            start_offsets=offsets, seed=seed,
+        )
+        results.append(
+            AdaptiveCcResult(
+                group_name=group.name,
+                compatible=group.paper_compatible,
+                fair_ms={
+                    s.job_id: fair.mean_iteration_time(s.job_id, skip=skip)
+                    * 1e3
+                    for s in specs
+                },
+                adaptive_ms={
+                    s.job_id: adaptive.mean_iteration_time(
+                        s.job_id, skip=skip
+                    ) * 1e3
+                    for s in specs
+                },
+                solo_ms={
+                    s.job_id: s.solo_iteration_time(EFFECTIVE_BOTTLENECK)
+                    * 1e3
+                    for s in specs
+                },
+            )
+        )
+    return results
+
+
+def adaptive_cc_report(results: Sequence[AdaptiveCcResult]) -> str:
+    """Render the adaptive-CC ablation."""
+    rows = []
+    for result in results:
+        for index, job in enumerate(result.fair_ms):
+            rows.append(
+                (
+                    result.group_name if index == 0 else "",
+                    "yes" if result.compatible else "no",
+                    job,
+                    f"{result.fair_ms[job]:.0f}",
+                    f"{result.adaptive_ms[job]:.0f}",
+                    f"{result.solo_ms[job]:.0f}",
+                    f"{result.speedups[job]:.2f}x",
+                )
+            )
+    return ascii_table(
+        ["group", "compatible", "job", "fair ms", "adaptive ms",
+         "solo ms", "speedup"],
+        rows,
+        title="S4(i) — adaptively-unfair congestion control",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sector discretization sensitivity
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SectorPoint:
+    """Outcome of the discretized formulation at one grid resolution."""
+
+    steps_per_job: int
+    found: bool
+    overlap: int
+    evaluations: int
+
+
+def sector_sensitivity(
+    circles: Optional[Sequence[JobCircle]] = None,
+    steps: Sequence[int] = (4, 6, 9, 12, 18, 24, 36, 60),
+) -> List[SectorPoint]:
+    """Sweep the discretization of the paper's sector formulation.
+
+    Defaults to a tightly packed triple (period 100, arcs 40+30+25 = 95 of
+    100): a separating rotation exists but only within a 5-tick window, so
+    coarse sector grids miss it — the cost of the discretized formulation.
+    """
+    if circles is None:
+        circles = [
+            JobCircle.from_phases("A", 60, 40),
+            JobCircle.from_phases("B", 70, 30),
+            JobCircle.from_phases("C", 75, 25),
+        ]
+    points: List[SectorPoint] = []
+    for steps_per_job in steps:
+        outcome = exhaustive_search(circles, steps_per_job=steps_per_job)
+        points.append(
+            SectorPoint(
+                steps_per_job=steps_per_job,
+                found=outcome.found,
+                overlap=outcome.overlap,
+                evaluations=outcome.nodes,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Solver comparison
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SolverRun:
+    """One solver's outcome on one instance."""
+
+    instance: str
+    solver: str
+    found: bool
+    overlap: int
+    nodes: int
+    seconds: float
+
+
+def solver_instances() -> Dict[str, List[JobCircle]]:
+    """Instances with known ground truth for the solver comparison."""
+    return {
+        "fig5 (feasible)": [
+            JobCircle.from_phases("J1", 30, 10),
+            JobCircle.from_phases("J2", 50, 10),
+        ],
+        "tight triple (feasible)": [
+            JobCircle.from_phases("A", 60, 40),
+            JobCircle.from_phases("B", 70, 30),
+            JobCircle.from_phases("C", 75, 25),
+        ],
+        "overloaded (infeasible)": [
+            JobCircle.from_phases("A", 40, 60),
+            JobCircle.from_phases("B", 40, 60),
+        ],
+    }
+
+
+def solver_comparison(
+    instances: Optional[Dict[str, List[JobCircle]]] = None,
+) -> List[SolverRun]:
+    """Run every solver on every instance and time them."""
+    instances = instances or solver_instances()
+    solvers = [
+        ("backtracking", lambda c: backtracking_search(c)),
+        ("greedy", lambda c: greedy_search(c)),
+        ("annealing", lambda c: annealing_search(c, seed=1)),
+        ("grid-36", lambda c: exhaustive_search(c, steps_per_job=36)),
+    ]
+    runs: List[SolverRun] = []
+    for instance_name, circles in instances.items():
+        for solver_name, solver in solvers:
+            start = time.perf_counter()
+            outcome: SolverOutcome = solver(circles)
+            elapsed = time.perf_counter() - start
+            runs.append(
+                SolverRun(
+                    instance=instance_name,
+                    solver=solver_name,
+                    found=outcome.found,
+                    overlap=outcome.overlap,
+                    nodes=outcome.nodes,
+                    seconds=elapsed,
+                )
+            )
+    return runs
+
+
+def solver_report(runs: Sequence[SolverRun]) -> str:
+    """Render the solver comparison."""
+    rows = [
+        (
+            run.instance,
+            run.solver,
+            "yes" if run.found else "no",
+            str(run.overlap),
+            str(run.nodes),
+            f"{run.seconds * 1e3:.1f} ms",
+        )
+        for run in runs
+    ]
+    return ascii_table(
+        ["instance", "solver", "found", "overlap", "nodes", "time"],
+        rows,
+        title="Solver comparison on the rotation search",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Clock skew vs flow scheduling (the paper's §4(iii) caveat)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClockSkewPoint:
+    """Flow-scheduling performance at one clock-skew magnitude."""
+
+    skew_ms: float
+    mean_slowdown: float
+    max_slowdown: float
+
+
+def clock_skew_experiment(
+    skews_ms: Sequence[float] = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0),
+    n_iterations: int = 40,
+    skip: int = 15,
+    seed: int = 0,
+) -> List[ClockSkewPoint]:
+    """How precise must clocks be for §4(iii) flow scheduling?
+
+    The paper warns that scheduling transfers "at precise times" needs
+    "high-resolution clock synchronization across the cluster". Here each
+    job's gate runs on a clock offset by ± the skew magnitude (alternating
+    signs across jobs, the worst pairing). The penalty is sharp and
+    non-monotonic: a job whose compute phase ends just after its (shifted)
+    window closes stalls for most of a unified period, so even 1 ms of
+    skew can cost tens of percent — which is exactly why the paper calls
+    precise flow scheduling "challenging ... without a high-resolution
+    clock synchronization across the cluster".
+    """
+    from ..core.compatibility import CompatibilityChecker
+    from ..mechanisms.flow_scheduling import FlowSchedule
+    from ..cc.fair import FairSharing
+
+    group = [spec for spec in table1_groups()[4].specs]
+    checker = CompatibilityChecker()
+    verdict = checker.check(group)
+    schedule = FlowSchedule.from_compatibility(
+        checker.circles(group), verdict, checker.ticks_per_second
+    )
+    solo_ms = {
+        spec.job_id: spec.solo_iteration_time(EFFECTIVE_BOTTLENECK) * 1e3
+        for spec in group
+    }
+    points: List[ClockSkewPoint] = []
+    for skew_ms in skews_ms:
+        gates = {}
+        for index, spec in enumerate(group):
+            sign = 1 if index % 2 == 0 else -1
+            epoch = sign * skew_ms * 1e-3
+            gates[spec.job_id] = schedule.gate_for(
+                spec.job_id, epoch=epoch
+            )
+        result = run_jobs(
+            group, FairSharing(), n_iterations=n_iterations, gates=gates,
+            seed=seed,
+        )
+        slowdowns = [
+            result.mean_iteration_time(spec.job_id, skip=skip)
+            * 1e3
+            / solo_ms[spec.job_id]
+            for spec in group
+        ]
+        points.append(
+            ClockSkewPoint(
+                skew_ms=skew_ms,
+                mean_slowdown=sum(slowdowns) / len(slowdowns),
+                max_slowdown=max(slowdowns),
+            )
+        )
+    return points
+
+
+def clock_skew_report(points: Sequence[ClockSkewPoint]) -> str:
+    """Render the clock-skew sweep."""
+    rows = [
+        (f"{p.skew_ms:.0f} ms", f"{p.mean_slowdown:.3f}",
+         f"{p.max_slowdown:.3f}")
+        for p in points
+    ]
+    return ascii_table(
+        ["clock skew (per job)", "mean slowdown", "max slowdown"],
+        rows,
+        title="S4(iii) — flow scheduling vs clock synchronization error",
+    )
+
+
+def main() -> None:
+    """Print all ablations."""
+    print(adaptive_cc_report(adaptive_cc_experiment()))
+    print()
+    rows = [
+        (p.steps_per_job, "yes" if p.found else "no", p.overlap,
+         p.evaluations)
+        for p in sector_sensitivity()
+    ]
+    print(
+        ascii_table(
+            ["sectors/job", "found", "overlap", "evaluations"],
+            rows,
+            title="Sector-count sensitivity of the discretized formulation",
+        )
+    )
+    print()
+    print(solver_report(solver_comparison()))
+    print()
+    print(clock_skew_report(clock_skew_experiment()))
+
+
+if __name__ == "__main__":
+    main()

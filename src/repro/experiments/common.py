@@ -1,0 +1,96 @@
+"""Shared experiment infrastructure.
+
+Every testbed-style experiment runs on the paper's Figure 1a shape: jobs
+whose flows cross the dumbbell bottleneck ``L1``. These helpers build that
+setup and run a set of job specs under a share policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..cc.base import SharePolicy
+from ..errors import ConfigError
+from ..net.phasesim import Gate, PhaseLevelSimulator, SimulationResult
+from ..net.topology import Topology
+from ..workloads.job import JobSpec
+from ..workloads.profiles import EFFECTIVE_BOTTLENECK
+
+#: Name of the shared bottleneck link in all dumbbell experiments.
+BOTTLENECK = "L1"
+
+
+def dumbbell_for(
+    n_jobs: int,
+    capacity: float = EFFECTIVE_BOTTLENECK,
+) -> Topology:
+    """A dumbbell with one host pair per job and bottleneck ``L1``.
+
+    Host NICs match the bottleneck capacity so that ``L1`` is the only
+    point of contention, as in the paper's testbed.
+    """
+    if n_jobs < 1:
+        raise ConfigError("need at least one job")
+    return Topology.dumbbell(
+        hosts_per_side=n_jobs,
+        host_capacity=capacity,
+        bottleneck_capacity=capacity,
+        bottleneck_name=BOTTLENECK,
+    )
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    policy: SharePolicy,
+    n_iterations: int,
+    capacity: float = EFFECTIVE_BOTTLENECK,
+    start_offsets: Optional[Mapping[str, float]] = None,
+    gates: Optional[Mapping[str, Gate]] = None,
+    seed: int = 0,
+    until: Optional[float] = None,
+) -> SimulationResult:
+    """Run ``specs`` across the dumbbell bottleneck under ``policy``.
+
+    Job ``i`` sends from ``ha{i}`` to ``hb{i}``; all flows share ``L1``.
+    """
+    if not specs:
+        raise ConfigError("no job specs given")
+    topology = dumbbell_for(len(specs), capacity)
+    sim = PhaseLevelSimulator(topology, policy, seed=seed)
+    start_offsets = start_offsets or {}
+    gates = gates or {}
+    for index, spec in enumerate(specs):
+        sim.add_job(
+            spec,
+            src=f"ha{index}",
+            dst=f"hb{index}",
+            n_iterations=n_iterations,
+            start_offset=start_offsets.get(spec.job_id, 0.0),
+            gate=gates.get(spec.job_id),
+        )
+    return sim.run(until=until)
+
+
+@dataclass
+class PairedRun:
+    """A fair run and an unfair run of the same job set."""
+
+    fair: SimulationResult
+    unfair: SimulationResult
+    job_ids: List[str]
+
+    def mean_ms(self, scenario: str, job_id: str, skip: int = 0) -> float:
+        """Mean iteration time in ms for one job in one scenario."""
+        result = self.fair if scenario == "fair" else self.unfair
+        return result.mean_iteration_time(job_id, skip=skip) * 1e3
+
+    def speedups(self, skip: int = 0) -> Dict[str, float]:
+        """Per-job fair/unfair mean-iteration speedups."""
+        return {
+            job_id: (
+                self.fair.mean_iteration_time(job_id, skip=skip)
+                / self.unfair.mean_iteration_time(job_id, skip=skip)
+            )
+            for job_id in self.job_ids
+        }

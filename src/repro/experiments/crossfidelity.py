@@ -1,0 +1,124 @@
+"""Cross-fidelity validation: does the fine-grained DCQCN model agree?
+
+The phase-level simulator asserts that a static weight skew slides
+compatible jobs apart. That abstraction is only trustworthy if the same
+behaviour emerges from the *microsecond-scale* DCQCN rate dynamics with
+the actual ``T`` knob — no fluid-allocator shortcut anywhere. This
+experiment runs the Figure 1 VGG19 pair as on-off DCQCN traffic sources
+and compares fair (both T = 125 µs) against unfair (J1 at T = 100 µs)
+mean iteration times, exactly like the testbed protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..analysis.report import ascii_table
+from ..cc.dcqcn import (
+    AGGRESSIVE_TIMER,
+    DEFAULT_TIMER,
+    DcqcnFluidSimulator,
+    DcqcnParams,
+    OnOffDcqcnJob,
+)
+from ..sim.rng import RandomStreams
+from ..units import gbps
+
+#: The Figure 2 VGG19 profile at 50 Gbps line rate: 100 ms compute plus
+#: 110 ms worth of bytes at the ~42 Gbps effective goodput.
+COMPUTE_TIME = 0.100
+COMM_BYTES = 0.110 * gbps(42)
+
+
+@dataclass
+class CrossFidelityResult:
+    """Mean iteration times from the fine-grained runs."""
+
+    fair_ms: Dict[str, float]
+    unfair_ms: Dict[str, float]
+    iterations: Dict[str, int]
+
+    def speedup(self, job: str) -> float:
+        """Fair over unfair mean iteration time."""
+        return self.fair_ms[job] / self.unfair_ms[job]
+
+    def report(self) -> str:
+        """Comparison table, with the phase-level prediction row."""
+        rows = []
+        for job in self.fair_ms:
+            rows.append(
+                (
+                    job,
+                    f"{self.fair_ms[job]:.0f}",
+                    f"{self.unfair_ms[job]:.0f}",
+                    f"{self.speedup(job):.2f}x",
+                    str(self.iterations[job]),
+                )
+            )
+        table = ascii_table(
+            ["job", "fair ms", "unfair ms", "speedup", "iterations"],
+            rows,
+            title=(
+                "Cross-fidelity: on-off jobs driven by the raw DCQCN "
+                "state machine (T = 125 vs 100 us)"
+            ),
+        )
+        return table + (
+            "\nphase-level prediction: both jobs speed up "
+            "(fair ~320 ms -> unfair ~230-250 ms)"
+        )
+
+
+def run(
+    duration: float = 3.0,
+    dt: float = 10e-6,
+    skip: int = 3,
+    seed: int = 5,
+) -> CrossFidelityResult:
+    """Run both scenarios at fine granularity and summarize."""
+    streams = RandomStreams(seed)
+
+    def scenario(timers: Dict[str, float]) -> Dict[str, OnOffDcqcnJob]:
+        sim = DcqcnFluidSimulator(capacity=gbps(50), dt=dt)
+        jobs: Dict[str, OnOffDcqcnJob] = {}
+        params = DcqcnParams(line_rate=gbps(50))
+        for index, (name, timer) in enumerate(timers.items()):
+            job = OnOffDcqcnJob(
+                name,
+                params.with_timer(timer),
+                streams.get(f"xfid:{name}:{timer}"),
+                compute_time=COMPUTE_TIME,
+                comm_bytes=COMM_BYTES,
+                start_offset=index * 0.004,
+            )
+            jobs[name] = job
+            sim.add_source(job)
+        sim.run(duration)
+        return jobs
+
+    fair = scenario({"J1": DEFAULT_TIMER, "J2": DEFAULT_TIMER})
+    unfair = scenario({"J1": AGGRESSIVE_TIMER, "J2": DEFAULT_TIMER})
+
+    def mean_ms(job: OnOffDcqcnJob) -> float:
+        times = job.iteration_times()[skip:]
+        return float(np.mean(times) * 1e3)
+
+    return CrossFidelityResult(
+        fair_ms={name: mean_ms(job) for name, job in fair.items()},
+        unfair_ms={name: mean_ms(job) for name, job in unfair.items()},
+        iterations={
+            name: len(job.iteration_ends) for name, job in unfair.items()
+        },
+    )
+
+
+def main() -> None:
+    """Print the cross-fidelity comparison."""
+    print(run().report())
+
+
+if __name__ == "__main__":
+    main()

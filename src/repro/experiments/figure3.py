@@ -1,0 +1,116 @@
+"""Figure 3: the geometric abstraction for one job.
+
+The paper rolls VGG16's time-series network demand (iteration 255 ms, the
+first 141 ms pure compute) around a circle: all iterations' communication
+phases land on the same arc ``[141, 255)``. This driver builds exactly
+that circle, generates the solo demand trace of Figure 3a, and verifies
+the rolled trace lands on the circle's arcs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..analysis.report import ascii_table
+from ..core.circle import JobCircle
+from ..sim.trace import StepFunction
+from ..workloads.profiles import EFFECTIVE_BOTTLENECK, figure3_vgg16
+from ..workloads.traces import demand_trace
+
+#: Geometry quantization for the figure (1 tick = 1 ms, as in the paper).
+TICKS_PER_SECOND = 1000
+
+#: Paper's stated numbers for the VGG16 circle, ms.
+PAPER_PERIMETER_MS = 255
+PAPER_COMPUTE_MS = 141
+
+
+@dataclass
+class Figure3Result:
+    """The VGG16 circle plus its solo demand trace."""
+
+    circle: JobCircle
+    trace: StepFunction
+    n_iterations: int
+
+    @property
+    def perimeter_ms(self) -> int:
+        """Iteration time (circle perimeter), ms."""
+        return self.circle.perimeter
+
+    @property
+    def comm_arc_ms(self) -> Tuple[int, int]:
+        """Start and end of the communication arc, ms."""
+        (start, end), = self.circle.comm.intervals
+        return start, end
+
+    def rolled_demand(self) -> List[Tuple[float, bool]]:
+        """Sample the trace and map each time onto the circle.
+
+        Returns ``(position on circle in ms, demand on?)`` samples; the
+        Figure 3b observation is that the on-samples all fall inside the
+        communication arc.
+        """
+        period_s = self.perimeter_ms / TICKS_PER_SECOND
+        horizon = self.n_iterations * period_s
+        samples = []
+        for t in np.arange(0.0, horizon, 0.001):
+            position = (t % period_s) * TICKS_PER_SECOND
+            on = self.trace.value_at(t) > 0
+            samples.append((position, on))
+        return samples
+
+    def roll_is_consistent(self) -> bool:
+        """Every communicating instant lands on the comm arc (and vice
+        versa, away from the 1 ms quantization boundary)."""
+        start, end = self.comm_arc_ms
+        for position, on in self.rolled_demand():
+            inside = start <= position < end
+            if abs(position - start) < 1 or abs(position - end) < 1:
+                continue  # quantization boundary
+            if on != inside:
+                return False
+        return True
+
+    def report(self) -> str:
+        """Paper-vs-measured circle parameters."""
+        start, end = self.comm_arc_ms
+        rows = [
+            ("perimeter (iteration time)", f"{self.perimeter_ms} ms",
+             f"{PAPER_PERIMETER_MS} ms"),
+            ("compute arc", f"[0, {start}) ms",
+             f"[0, {PAPER_COMPUTE_MS}) ms"),
+            ("communication arc", f"[{start}, {end}) ms",
+             f"[{PAPER_COMPUTE_MS}, {PAPER_PERIMETER_MS}) ms"),
+            ("roll consistent across iterations",
+             str(self.roll_is_consistent()), "True"),
+        ]
+        return ascii_table(
+            ["quantity", "measured", "paper"],
+            rows,
+            title="Figure 3 — VGG16 on its circle",
+        )
+
+
+def run(n_iterations: int = 5) -> Figure3Result:
+    """Build the Figure 3 circle and demand trace."""
+    spec = figure3_vgg16()
+    circle = JobCircle.from_job(
+        spec, EFFECTIVE_BOTTLENECK, ticks_per_second=TICKS_PER_SECOND
+    )
+    trace = demand_trace(spec, EFFECTIVE_BOTTLENECK, n_iterations)
+    return Figure3Result(
+        circle=circle, trace=trace, n_iterations=n_iterations
+    )
+
+
+def main() -> None:
+    """Print the Figure 3 reproduction."""
+    print(run().report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Figure 4: rotating circles to avoid congestion.
+
+Two jobs with equal iteration times whose communication arcs collide at
+rotation zero (Figure 4a); rotating one circle separates the arcs
+(Figure 4b), so the jobs are compatible. This driver demonstrates both
+states and verifies the rotation is the certificate: zero overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.report import ascii_table
+from ..core.circle import JobCircle
+from ..core.compatibility import CompatibilityChecker, CompatibilityResult
+from ..core.rotation import rotation_to_degrees
+from ..core.unified import UnifiedCircle
+
+
+@dataclass
+class Figure4Result:
+    """Collision at rotation 0 and the solver's separating rotation."""
+
+    circles: Dict[str, JobCircle]
+    overlap_at_zero: int
+    result: CompatibilityResult
+
+    def rotation_degrees(self) -> Dict[str, float]:
+        """Each job's rotation as an angle on its circle."""
+        return {
+            job_id: rotation_to_degrees(
+                ticks, self.circles[job_id].perimeter
+            )
+            for job_id, ticks in self.result.rotations.items()
+        }
+
+    def report(self) -> str:
+        """Before/after comparison."""
+        degrees = self.rotation_degrees()
+        rows = [
+            ("overlap at rotation 0", f"{self.overlap_at_zero} ticks",
+             "collision (Fig. 4a)"),
+            ("compatible", str(self.result.compatible), "True (Fig. 4b)"),
+            ("overlap after rotation", f"{self.result.overlap_ticks} ticks",
+             "0"),
+        ]
+        for job_id, angle in degrees.items():
+            rows.append(
+                (f"rotation of {job_id}",
+                 f"{self.result.rotations[job_id]} ticks = {angle:.0f} deg",
+                 "any separating angle")
+            )
+        return ascii_table(
+            ["quantity", "measured", "paper"],
+            rows,
+            title="Figure 4 — rotate the circles to avoid congestion",
+        )
+
+
+def run(
+    perimeter: int = 100,
+    comm_1: int = 40,
+    comm_2: int = 45,
+) -> Figure4Result:
+    """Build two equal-period jobs that collide at rotation zero.
+
+    Defaults: both jobs have a 100-tick iteration; J1 communicates for 40
+    ticks, J2 for 45 — together 85 < 100, so a separating rotation exists,
+    but with both phases starting at the same angle they collide.
+    """
+    j1 = JobCircle.from_phases("J1", perimeter - comm_1, comm_1)
+    j2 = JobCircle.from_phases("J2", perimeter - comm_2, comm_2)
+    unified = UnifiedCircle([j1, j2])
+    checker = CompatibilityChecker()
+    result = checker.check_circles([j1, j2])
+    return Figure4Result(
+        circles={"J1": j1, "J2": j2},
+        overlap_at_zero=unified.overlap_ticks(),
+        result=result,
+    )
+
+
+def main() -> None:
+    """Print the Figure 4 reproduction."""
+    print(run().report())
+
+
+if __name__ == "__main__":
+    main()

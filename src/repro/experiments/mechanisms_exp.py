@@ -1,0 +1,166 @@
+"""§4 mechanisms head-to-head: one compatible group, four treatments.
+
+Runs a fully compatible job group (Table 1's group 5) under:
+
+1. fair sharing (the baseline pathology),
+2. static weighted unfairness (the testbed's T skew),
+3. unique switch priorities (§4 ii),
+4. precise flow scheduling from solver rotations (§4 iii),
+5. adaptively-unfair congestion control (§4 i).
+
+The paper's claim: for compatible jobs each mechanism should approach the
+dedicated-network iteration time; flow scheduling achieves it exactly by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.report import ascii_table
+from ..cc.adaptive import AdaptiveUnfair
+from ..cc.base import SharePolicy
+from ..cc.fair import FairSharing
+from ..cc.weighted import StaticWeighted
+from ..core.compatibility import CompatibilityChecker
+from ..mechanisms.flow_scheduling import FlowSchedule
+from ..mechanisms.priorities import PriorityAssigner
+from ..workloads.job import JobSpec
+from ..workloads.profiles import EFFECTIVE_BOTTLENECK, table1_groups
+from .common import run_jobs
+
+
+@dataclass
+class MechanismOutcome:
+    """Mean iteration times under one mechanism."""
+
+    mechanism: str
+    iteration_ms: Dict[str, float]
+    solo_ms: Dict[str, float]
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Average iteration time over solo, across jobs."""
+        ratios = [
+            self.iteration_ms[job] / self.solo_ms[job]
+            for job in self.iteration_ms
+        ]
+        return sum(ratios) / len(ratios)
+
+
+def run(
+    specs: Sequence[JobSpec] | None = None,
+    n_iterations: int = 60,
+    skip: int = 20,
+    desync: float = 0.007,
+    seed: int = 0,
+) -> List[MechanismOutcome]:
+    """Run the five treatments on a compatible group."""
+    if specs is None:
+        specs = table1_groups()[4].specs  # group 5: compatible triple
+    job_ids = [spec.job_id for spec in specs]
+    solo_ms = {
+        spec.job_id: spec.solo_iteration_time(EFFECTIVE_BOTTLENECK) * 1e3
+        for spec in specs
+    }
+    offsets = {spec.job_id: i * desync for i, spec in enumerate(specs)}
+
+    checker = CompatibilityChecker()
+    compatibility = checker.check(specs)
+    treatments: List[tuple[str, SharePolicy, dict]] = [
+        ("fair", FairSharing(), {}),
+        (
+            "weighted 2:1",
+            StaticWeighted.from_aggressiveness_order(job_ids),
+            {},
+        ),
+        (
+            "priorities",
+            PriorityAssigner().assign(job_ids).policy(),
+            {},
+        ),
+        ("adaptive", AdaptiveUnfair(), {}),
+    ]
+
+    outcomes: List[MechanismOutcome] = []
+    for name, policy, extra in treatments:
+        result = run_jobs(
+            specs,
+            policy,
+            n_iterations=n_iterations,
+            start_offsets=offsets,
+            seed=seed,
+            **extra,
+        )
+        outcomes.append(
+            MechanismOutcome(
+                mechanism=name,
+                iteration_ms={
+                    job: result.mean_iteration_time(job, skip=skip) * 1e3
+                    for job in job_ids
+                },
+                solo_ms=solo_ms,
+            )
+        )
+
+    # Flow scheduling needs the compatibility certificate.
+    if compatibility.compatible:
+        schedule = FlowSchedule.from_compatibility(
+            checker.circles(specs),
+            compatibility,
+            ticks_per_second=checker.ticks_per_second,
+        )
+        result = run_jobs(
+            specs,
+            FairSharing(),  # with disjoint windows the policy is moot
+            n_iterations=n_iterations,
+            gates=schedule.gates(),
+            seed=seed,
+        )
+        outcomes.append(
+            MechanismOutcome(
+                mechanism="flow scheduling",
+                iteration_ms={
+                    job: result.mean_iteration_time(job, skip=skip) * 1e3
+                    for job in job_ids
+                },
+                solo_ms=solo_ms,
+            )
+        )
+    return outcomes
+
+
+def report(outcomes: Sequence[MechanismOutcome]) -> str:
+    """Render the mechanism comparison."""
+    job_ids = list(outcomes[0].iteration_ms)
+    rows = []
+    for outcome in outcomes:
+        rows.append(
+            (
+                outcome.mechanism,
+                *(f"{outcome.iteration_ms[j]:.0f}" for j in job_ids),
+                f"{outcome.mean_slowdown:.3f}",
+            )
+        )
+    rows.append(
+        (
+            "solo (dedicated)",
+            *(f"{outcomes[0].solo_ms[j]:.0f}" for j in job_ids),
+            "1.000",
+        )
+    )
+    return ascii_table(
+        ["mechanism", *[f"{j} ms" for j in job_ids], "mean slowdown"],
+        rows,
+        title="S4 mechanisms on a fully compatible group",
+    )
+
+
+def main() -> None:
+    """Print the mechanisms comparison."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Table 1: fair vs unfair iteration times for five job groups.
+
+For each group the driver (i) checks full compatibility with the geometric
+abstraction, and (ii) simulates the group sharing the dumbbell bottleneck
+under default fair sharing and under Table 1's unfairness protocol (each
+job more aggressive than the jobs after it in the row, 2:1 between ranks).
+The paper's verdicts: groups 2, 4 and 5 are fully compatible (unfairness
+speeds up *every* member); groups 1 and 3 are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.report import ascii_table
+from ..cc.fair import FairSharing
+from ..cc.weighted import StaticWeighted
+from ..core.compatibility import CompatibilityChecker, CompatibilityResult
+from ..workloads.profiles import Table1Group, table1_groups
+from .common import PairedRun, run_jobs
+
+
+@dataclass
+class Table1Row:
+    """Measured and paper numbers for one job in one group."""
+
+    job_id: str
+    fair_ms: float
+    unfair_ms: float
+    paper_fair_ms: float
+    paper_unfair_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """Measured unfairness speedup."""
+        return self.fair_ms / self.unfair_ms
+
+
+@dataclass
+class Table1GroupResult:
+    """One group's verdict plus all its rows."""
+
+    group: Table1Group
+    compatibility: CompatibilityResult
+    rows: List[Table1Row]
+    run: PairedRun
+
+    @property
+    def all_members_sped_up(self) -> bool:
+        """The operational definition of a compatible group in Table 1."""
+        return all(row.speedup > 1.0 for row in self.rows)
+
+    @property
+    def verdict_matches_paper(self) -> bool:
+        """Geometric verdict equals the paper's green/red marking."""
+        return self.compatibility.compatible == self.group.paper_compatible
+
+
+def run_group(
+    group: Table1Group,
+    n_iterations: int = 60,
+    skip: int = 15,
+    weight_ratio: float = 2.0,
+    seed: int = 0,
+) -> Table1GroupResult:
+    """Check and simulate one Table 1 group."""
+    specs = group.specs
+    job_ids = [spec.job_id for spec in specs]
+    compatibility = CompatibilityChecker().check(specs)
+    fair = run_jobs(specs, FairSharing(), n_iterations=n_iterations, seed=seed)
+    unfair = run_jobs(
+        specs,
+        StaticWeighted.from_aggressiveness_order(job_ids, weight_ratio),
+        n_iterations=n_iterations,
+        seed=seed,
+    )
+    paired = PairedRun(fair=fair, unfair=unfair, job_ids=job_ids)
+    rows = []
+    for entry in group.entries:
+        job_id = entry.spec.job_id
+        rows.append(
+            Table1Row(
+                job_id=job_id,
+                fair_ms=paired.mean_ms("fair", job_id, skip=skip),
+                unfair_ms=paired.mean_ms("unfair", job_id, skip=skip),
+                paper_fair_ms=entry.paper_fair_ms,
+                paper_unfair_ms=entry.paper_unfair_ms,
+            )
+        )
+    return Table1GroupResult(
+        group=group, compatibility=compatibility, rows=rows, run=paired
+    )
+
+
+def run_all(
+    n_iterations: int = 60,
+    skip: int = 15,
+    seed: int = 0,
+) -> List[Table1GroupResult]:
+    """Check and simulate every Table 1 group."""
+    return [
+        run_group(group, n_iterations=n_iterations, skip=skip, seed=seed)
+        for group in table1_groups()
+    ]
+
+
+def report(results: List[Table1GroupResult]) -> str:
+    """Render the full paper-vs-measured table."""
+    rows = []
+    for result in results:
+        verdict = "compatible" if result.compatibility.compatible else "incompatible"
+        paper_verdict = "Y" if result.group.paper_compatible else "X"
+        for index, row in enumerate(result.rows):
+            rows.append(
+                (
+                    result.group.name if index == 0 else "",
+                    row.job_id,
+                    f"{row.fair_ms:.0f}",
+                    f"{row.paper_fair_ms:.0f}",
+                    f"{row.unfair_ms:.0f}",
+                    f"{row.paper_unfair_ms:.0f}",
+                    f"{row.speedup:.2f}x",
+                    verdict if index == 0 else "",
+                    paper_verdict if index == 0 else "",
+                )
+            )
+    return ascii_table(
+        [
+            "group", "job", "fair ms", "paper", "unfair ms", "paper",
+            "speedup", "geometric verdict", "paper",
+        ],
+        rows,
+        title="Table 1 — unfairness only helps compatible job groups",
+    )
+
+
+def main() -> None:
+    """Print the Table 1 reproduction."""
+    print(report(run_all()))
+
+
+if __name__ == "__main__":
+    main()

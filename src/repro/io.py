@@ -1,0 +1,168 @@
+"""JSON serialization for workloads, circles and results.
+
+Lets operators exchange profiled workloads and verdicts between tools:
+job specs and circles round-trip losslessly (circles are integer data);
+compatibility results serialize with their certificates so a deployment
+can re-verify them before trusting them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from .core.circle import JobCircle
+from .core.compatibility import CompatibilityResult
+from .errors import ConfigError
+from .workloads.job import JobSpec
+
+#: Format tag embedded in every document.
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# JobSpec
+# ---------------------------------------------------------------------------
+
+def job_spec_to_dict(spec: JobSpec) -> Dict[str, Any]:
+    """Serialize a job spec to plain data."""
+    data: Dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "job_id": spec.job_id,
+        "compute_time": spec.compute_time,
+        "comm_bytes": spec.comm_bytes,
+        "model_name": spec.model_name,
+        "batch_size": spec.batch_size,
+        "compute_jitter": spec.compute_jitter,
+        "n_workers": spec.n_workers,
+    }
+    if spec.segments:
+        data["segments"] = [list(segment) for segment in spec.segments]
+    return data
+
+
+def job_spec_from_dict(data: Dict[str, Any]) -> JobSpec:
+    """Deserialize a job spec.
+
+    Raises:
+        ConfigError: on a missing field or unknown format version.
+    """
+    _check_version(data)
+    try:
+        return JobSpec(
+            job_id=data["job_id"],
+            compute_time=float(data["compute_time"]),
+            comm_bytes=float(data["comm_bytes"]),
+            model_name=data.get("model_name", ""),
+            batch_size=int(data.get("batch_size", 0)),
+            compute_jitter=float(data.get("compute_jitter", 0.0)),
+            n_workers=int(data.get("n_workers", 2)),
+            segments=tuple(
+                (float(c), float(b))
+                for c, b in data.get("segments", [])
+            ),
+        )
+    except KeyError as exc:
+        raise ConfigError(f"missing field in job spec: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# JobCircle
+# ---------------------------------------------------------------------------
+
+def circle_to_dict(circle: JobCircle) -> Dict[str, Any]:
+    """Serialize a circle (exact: integers only)."""
+    return {
+        "version": FORMAT_VERSION,
+        "job_id": circle.job_id,
+        "perimeter": circle.perimeter,
+        "comm_arcs": [
+            [start, end - start] for start, end in circle.comm.intervals
+        ],
+        "demand": circle.demand,
+    }
+
+
+def circle_from_dict(data: Dict[str, Any]) -> JobCircle:
+    """Deserialize a circle."""
+    _check_version(data)
+    try:
+        return JobCircle.from_arcs(
+            data["job_id"],
+            int(data["perimeter"]),
+            [(int(s), int(length)) for s, length in data["comm_arcs"]],
+            demand=float(data.get("demand", 1.0)),
+        )
+    except KeyError as exc:
+        raise ConfigError(f"missing field in circle: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# CompatibilityResult
+# ---------------------------------------------------------------------------
+
+def result_to_dict(result: CompatibilityResult) -> Dict[str, Any]:
+    """Serialize a compatibility verdict with its certificate."""
+    return {
+        "version": FORMAT_VERSION,
+        "compatible": result.compatible,
+        "rotations": dict(result.rotations),
+        "overlap_ticks": result.overlap_ticks,
+        "unified_perimeter": result.unified_perimeter,
+        "utilization": result.utilization,
+        "certified": result.certified,
+        "method": result.method,
+        "job_ids": list(result.job_ids),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> CompatibilityResult:
+    """Deserialize a compatibility verdict."""
+    _check_version(data)
+    try:
+        return CompatibilityResult(
+            compatible=bool(data["compatible"]),
+            rotations={k: int(v) for k, v in data["rotations"].items()},
+            overlap_ticks=int(data["overlap_ticks"]),
+            unified_perimeter=int(data["unified_perimeter"]),
+            utilization=float(data["utilization"]),
+            certified=bool(data["certified"]),
+            method=data["method"],
+            job_ids=list(data["job_ids"]),
+        )
+    except KeyError as exc:
+        raise ConfigError(f"missing field in result: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Files
+# ---------------------------------------------------------------------------
+
+def save_workload(
+    specs: Sequence[JobSpec], path: Union[str, Path]
+) -> None:
+    """Write a list of job specs to a JSON file."""
+    document = {
+        "version": FORMAT_VERSION,
+        "jobs": [job_spec_to_dict(spec) for spec in specs],
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_workload(path: Union[str, Path]) -> List[JobSpec]:
+    """Read a list of job specs from a JSON file."""
+    document = json.loads(Path(path).read_text())
+    _check_version(document)
+    if "jobs" not in document:
+        raise ConfigError("workload file has no 'jobs' field")
+    return [job_spec_from_dict(entry) for entry in document["jobs"]]
+
+
+def _check_version(data: Dict[str, Any]) -> None:
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported format version {version} (expected "
+            f"{FORMAT_VERSION})"
+        )

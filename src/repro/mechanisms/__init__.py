@@ -1,0 +1,38 @@
+"""The paper's three §4 mechanisms for congestion-free sharing.
+
+Once compatible jobs are placed on a link, the provider must *create* the
+desirable side effect of unfairness. Three interchangeable ways:
+
+* :mod:`repro.mechanisms.unfair_cc` — deploy an (adaptively) unfair
+  congestion control; includes the calibration bridge that turns a DCQCN
+  timer skew into equivalent share weights.
+* :mod:`repro.mechanisms.priorities` — assign unique switch priorities per
+  job (limited priority queues handled explicitly).
+* :mod:`repro.mechanisms.flow_scheduling` — convert solver rotations into
+  precise communication windows enforced by a gate.
+"""
+
+from .unfair_cc import (
+    adaptive_policy,
+    timer_skew_policy,
+    aggressiveness_policy,
+)
+from .priorities import PriorityAssigner
+from .flow_scheduling import PeriodicGate, FlowSchedule
+from .controller import (
+    CongestionFreeController,
+    DeploymentPlan,
+    Mechanism,
+)
+
+__all__ = [
+    "adaptive_policy",
+    "timer_skew_policy",
+    "aggressiveness_policy",
+    "PriorityAssigner",
+    "PeriodicGate",
+    "FlowSchedule",
+    "CongestionFreeController",
+    "DeploymentPlan",
+    "Mechanism",
+]

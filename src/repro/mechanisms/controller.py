@@ -1,0 +1,221 @@
+"""The congestion-free cluster controller — §4's end-to-end vision.
+
+The paper's workflow: profile jobs → place compatible jobs on links →
+"artificially create the desirable side effect of unfairness" with one of
+the three mechanisms. :class:`CongestionFreeController` automates the
+last step for a placed cluster:
+
+1. audit every contended link (and, with ``cluster_level``, the global
+   single-rotation constraint across links);
+2. for fully compatible contention pick the requested mechanism —
+   flow-scheduling gates from the solver's rotations, unique switch
+   priorities, or a static weight order;
+3. for incompatible contention fall back to the adaptively-unfair policy,
+   which is safe by construction (it degrades to fair sharing).
+
+The result is a :class:`DeploymentPlan` that can drive
+:class:`~repro.scheduler.simulation.ClusterSimulation` directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cc.adaptive import AdaptiveUnfair
+from ..cc.base import SharePolicy
+from ..cc.priority import PrioritySharing
+from ..cc.weighted import StaticWeighted
+from ..core.circle import JobCircle
+from ..core.cluster_compat import ClusterCompatibilityProblem
+from ..core.compatibility import CompatibilityChecker
+from ..errors import ConfigError
+from ..net.phasesim import Gate
+from ..scheduler.cluster import ClusterState
+from .flow_scheduling import FlowSchedule
+from .priorities import PriorityAssigner
+
+
+class Mechanism(enum.Enum):
+    """Which §4 direction to deploy for compatible contention."""
+
+    FLOW_SCHEDULING = "flow-scheduling"
+    PRIORITIES = "priorities"
+    WEIGHTED = "weighted"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass
+class DeploymentPlan:
+    """What the controller decided for one cluster snapshot.
+
+    Attributes:
+        policy: The share policy to run cluster-wide.
+        gates: Per-job admission gates (flow scheduling only).
+        compatible_links: Contended links whose sharers are fully
+            compatible (the mechanism guarantees solo speed there).
+        incompatible_links: Contended links left to the safe fallback.
+        rotations: Solver rotations backing the gates, ticks.
+        mechanism: The mechanism deployed for compatible contention.
+    """
+
+    policy: SharePolicy
+    gates: Dict[str, Gate] = field(default_factory=dict)
+    compatible_links: List[str] = field(default_factory=list)
+    incompatible_links: List[str] = field(default_factory=list)
+    rotations: Dict[str, int] = field(default_factory=dict)
+    mechanism: Mechanism = Mechanism.ADAPTIVE
+
+    @property
+    def fully_congestion_free(self) -> bool:
+        """Whether every contended link got the solo-speed guarantee."""
+        return not self.incompatible_links
+
+
+class CongestionFreeController:
+    """Audits a placed cluster and deploys a §4 mechanism."""
+
+    def __init__(
+        self,
+        checker: Optional[CompatibilityChecker] = None,
+        n_priority_queues: int = 8,
+    ) -> None:
+        self.checker = checker if checker is not None else CompatibilityChecker()
+        self.n_priority_queues = n_priority_queues
+
+    def plan(
+        self,
+        cluster: ClusterState,
+        mechanism: Mechanism = Mechanism.FLOW_SCHEDULING,
+        cluster_level: bool = True,
+    ) -> DeploymentPlan:
+        """Decide how to run the cluster's current placement.
+
+        Args:
+            cluster: The placed cluster to audit.
+            mechanism: Preferred mechanism for compatible contention.
+            cluster_level: Solve the §5 global single-rotation problem
+                (recommended); with False only per-link verdicts are used
+                and flow scheduling falls back to priorities, because
+                per-link rotations need not agree across links.
+        """
+        network_jobs = [job for job in cluster.jobs if job.uses_network]
+        circles = {
+            job.job_id: self.checker.circle(job.spec)
+            for job in network_jobs
+        }
+        contended = {
+            link: sorted(sharers)
+            for link, sharers in cluster.link_sharing().items()
+            if len(sharers) > 1
+        }
+        if not contended:
+            return DeploymentPlan(
+                policy=AdaptiveUnfair(), mechanism=Mechanism.ADAPTIVE
+            )
+
+        compatible_links: List[str] = []
+        incompatible_links: List[str] = []
+        for link, sharers in contended.items():
+            verdict = self.checker.check_circles(
+                [circles[job_id] for job_id in sharers]
+            )
+            (compatible_links if verdict.compatible
+             else incompatible_links).append(link)
+
+        rotations: Dict[str, int] = {}
+        globally_clean = False
+        if cluster_level and not incompatible_links:
+            problem = ClusterCompatibilityProblem.from_assignments(
+                list(circles.values()),
+                {
+                    job.job_id: [link.name for link in job.links]
+                    for job in network_jobs
+                },
+            )
+            outcome = problem.solve()
+            globally_clean = outcome.compatible
+            if globally_clean:
+                rotations = dict(outcome.rotations)
+            else:
+                # Some link set is per-link compatible but no single
+                # rotation satisfies all links at once.
+                incompatible_links = sorted(contended)
+                compatible_links = []
+
+        return self._deploy(
+            mechanism,
+            network_jobs,
+            circles,
+            rotations,
+            compatible_links,
+            incompatible_links,
+            globally_clean,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _deploy(
+        self,
+        mechanism: Mechanism,
+        network_jobs,
+        circles: Dict[str, JobCircle],
+        rotations: Dict[str, int],
+        compatible_links: List[str],
+        incompatible_links: List[str],
+        globally_clean: bool,
+    ) -> DeploymentPlan:
+        job_ids = [job.job_id for job in network_jobs]
+        if incompatible_links or not compatible_links:
+            # Safe fallback everywhere: adaptive unfairness never hurts.
+            return DeploymentPlan(
+                policy=AdaptiveUnfair(),
+                compatible_links=compatible_links,
+                incompatible_links=incompatible_links,
+                mechanism=Mechanism.ADAPTIVE,
+            )
+        if mechanism is Mechanism.FLOW_SCHEDULING and globally_clean:
+            schedule = FlowSchedule.from_rotations(
+                [circles[job_id] for job_id in job_ids],
+                rotations,
+                self.checker.ticks_per_second,
+            )
+            return DeploymentPlan(
+                policy=AdaptiveUnfair(),  # harmless under disjoint windows
+                gates=schedule.gates(),
+                compatible_links=compatible_links,
+                incompatible_links=incompatible_links,
+                rotations=rotations,
+                mechanism=Mechanism.FLOW_SCHEDULING,
+            )
+        if mechanism in (Mechanism.FLOW_SCHEDULING, Mechanism.PRIORITIES):
+            assignment = PriorityAssigner(self.n_priority_queues).assign(
+                job_ids
+            )
+            return DeploymentPlan(
+                policy=assignment.policy(),
+                compatible_links=compatible_links,
+                incompatible_links=incompatible_links,
+                rotations=rotations,
+                mechanism=Mechanism.PRIORITIES,
+            )
+        if mechanism is Mechanism.WEIGHTED:
+            return DeploymentPlan(
+                policy=StaticWeighted.from_aggressiveness_order(job_ids),
+                compatible_links=compatible_links,
+                incompatible_links=incompatible_links,
+                rotations=rotations,
+                mechanism=Mechanism.WEIGHTED,
+            )
+        if mechanism is Mechanism.ADAPTIVE:
+            return DeploymentPlan(
+                policy=AdaptiveUnfair(),
+                compatible_links=compatible_links,
+                incompatible_links=incompatible_links,
+                rotations=rotations,
+                mechanism=Mechanism.ADAPTIVE,
+            )
+        raise ConfigError(f"unsupported mechanism {mechanism}")

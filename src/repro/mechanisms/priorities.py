@@ -1,0 +1,68 @@
+"""Direction (ii): per-job switch priority queues.
+
+The scheduler assigns a *unique* priority to each job sharing a link;
+end-hosts mark packets and the switch serves classes strictly, mimicking
+extreme unfairness without touching congestion control. The paper flags
+one practical constraint — switches expose only a few priority queues —
+so :class:`PriorityAssigner` models a fixed queue budget and reports when
+jobs must share the lowest class (losing the interleaving guarantee
+between those jobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..cc.priority import PrioritySharing
+from ..errors import ConfigError
+
+#: Typical number of hardware priority queues per port.
+DEFAULT_QUEUE_BUDGET = 8
+
+
+@dataclass(frozen=True)
+class PriorityAssignment:
+    """Result of assigning queue priorities to jobs on one link.
+
+    Attributes:
+        priorities: Per-job priority class (higher served first).
+        overflowed: Jobs that could not get a unique class and share the
+            lowest one; between these jobs sharing is plain fair and the
+            paper's interleaving guarantee does not hold.
+    """
+
+    priorities: Dict[str, int]
+    overflowed: List[str]
+
+    def policy(self) -> PrioritySharing:
+        """A share policy enforcing this assignment."""
+        return PrioritySharing(self.priorities)
+
+
+class PriorityAssigner:
+    """Assigns unique per-job priorities under a hardware queue budget."""
+
+    def __init__(self, n_queues: int = DEFAULT_QUEUE_BUDGET) -> None:
+        if n_queues < 1:
+            raise ConfigError(f"n_queues must be >= 1, got {n_queues}")
+        self.n_queues = n_queues
+
+    def assign(self, job_ids: Sequence[str]) -> PriorityAssignment:
+        """Assign priorities in the given order (first = highest).
+
+        The paper notes the actual priority values can be arbitrary as
+        long as they are unique per link; we use descending integers. Jobs
+        beyond the queue budget collapse into class 0.
+        """
+        if len(set(job_ids)) != len(job_ids):
+            raise ConfigError("job ids must be unique")
+        priorities: Dict[str, int] = {}
+        overflowed: List[str] = []
+        for rank, job_id in enumerate(job_ids):
+            if rank < self.n_queues - 1 or len(job_ids) <= self.n_queues:
+                priorities[job_id] = len(job_ids) - rank
+            else:
+                priorities[job_id] = 0
+                overflowed.append(job_id)
+        return PriorityAssignment(priorities=priorities, overflowed=overflowed)

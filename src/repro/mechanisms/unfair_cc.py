@@ -1,0 +1,94 @@
+"""Direction (i): unfair transport protocols.
+
+Two flavours:
+
+* :func:`adaptive_policy` — the paper's adaptively-unfair DCQCN rule in
+  fluid form (progress-weighted shares). Safe to deploy cluster-wide: it
+  interleaves compatible jobs and degrades to fair sharing for
+  incompatible ones, because the aggressiveness advantage alternates.
+* :func:`timer_skew_policy` — the testbed trick: per-job DCQCN increase
+  timers. The fine-grained DCQCN model measures the steady-state share
+  each timer earns and the result is expressed as static weights for the
+  phase-level simulator, bridging the two fidelities.
+* :func:`aggressiveness_policy` — Table 1's protocol: a pure ordering of
+  jobs by aggressiveness with a fixed ratio between ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..cc.adaptive import AdaptiveUnfair
+from ..cc.dcqcn import DcqcnParams, calibrate_timer_weights
+from ..cc.weighted import DEFAULT_AGGRESSIVENESS_RATIO, StaticWeighted
+from ..errors import ConfigError
+from ..units import gbps
+
+
+def adaptive_policy(
+    gain: float = 1.0,
+    exponent: float = 1.0,
+    reallocation_interval: float = 2e-3,
+) -> AdaptiveUnfair:
+    """The paper's §4(i) rule with recommended deployment settings.
+
+    ``gain=1, exponent=1`` is the literal
+    ``R_AI * (1 + Data_sent / Data_comm_phase)`` scaling; a higher exponent
+    sharpens the head start of nearly-finished phases, which speeds up
+    convergence of the sliding effect at the cost of burstier rates.
+    """
+    return AdaptiveUnfair(
+        gain=gain,
+        exponent=exponent,
+        reallocation_interval=reallocation_interval,
+    )
+
+
+def aggressiveness_policy(
+    job_ids: Sequence[str],
+    ratio: float = DEFAULT_AGGRESSIVENESS_RATIO,
+) -> StaticWeighted:
+    """Static unfairness by rank — Table 1's experimental protocol."""
+    return StaticWeighted.from_aggressiveness_order(job_ids, ratio)
+
+
+def timer_skew_policy(
+    timers_by_job: Dict[str, float],
+    capacity: float = gbps(50),
+    params: Optional[DcqcnParams] = None,
+    calibration_duration: float = 0.25,
+    seed: int = 0,
+) -> StaticWeighted:
+    """Weights equivalent to running per-job DCQCN increase timers.
+
+    Runs the fine-grained DCQCN model once per distinct timer value and
+    converts the measured steady-state shares into
+    :class:`~repro.cc.weighted.StaticWeighted` weights, so phase-level
+    simulations inherit exactly the unfairness the ``T`` skew produces.
+
+    Args:
+        timers_by_job: Each job's DCQCN rate-increase timer, seconds.
+        capacity: Bottleneck capacity used during calibration.
+        params: Base DCQCN parameters (defaults scaled to ``capacity``).
+        calibration_duration: Seconds of fine-grained simulation.
+        seed: Calibration RNG seed.
+    """
+    if not timers_by_job:
+        raise ConfigError("timers_by_job must not be empty")
+    timers = sorted(set(timers_by_job.values()))
+    if len(timers) == 1:
+        # One distinct timer means fair sharing: all weights equal.
+        return StaticWeighted({job_id: 1.0 for job_id in timers_by_job})
+    weight_by_timer = calibrate_timer_weights(
+        timers,
+        capacity=capacity,
+        duration=calibration_duration,
+        seed=seed,
+        params=params,
+    )
+    return StaticWeighted(
+        {
+            job_id: weight_by_timer[timer]
+            for job_id, timer in timers_by_job.items()
+        }
+    )

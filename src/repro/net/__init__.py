@@ -1,0 +1,32 @@
+"""Network substrate: topology, routing, flows, and fluid bandwidth sharing.
+
+The substrate replaces the paper's physical testbed (A100 hosts, 50 Gbps
+ConnectX-5 NICs, a Tofino switch). Two simulators are built on top of it:
+
+* :mod:`repro.net.fluid` — an instantaneous weighted max-min allocator used
+  by both simulators to turn a congestion-control policy into rates.
+* :mod:`repro.net.phasesim` — the phase-level event simulator that runs ML
+  training jobs (compute/communication phases) over the topology and is the
+  workhorse behind Table 1 and Figures 1d and 2.
+"""
+
+from .topology import Node, NodeKind, Link, Topology
+from .routing import Router, EcmpRouter
+from .flows import Flow
+from .fluid import FluidAllocator, Allocation
+from .phasesim import PhaseLevelSimulator, JobRun, SimulationResult
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Link",
+    "Topology",
+    "Router",
+    "EcmpRouter",
+    "Flow",
+    "FluidAllocator",
+    "Allocation",
+    "PhaseLevelSimulator",
+    "JobRun",
+    "SimulationResult",
+]

@@ -1,0 +1,167 @@
+"""Weighted max-min fluid bandwidth allocation with strict priorities.
+
+This is the arbiter both simulators use to convert a congestion-control
+policy into instantaneous rates. The classical *progressive filling*
+algorithm is extended two ways:
+
+* **weights** — each flow fills at a rate proportional to its weight, so a
+  2:1 weight ratio on a shared bottleneck yields a 2:1 rate split. This is
+  the fluid equivalent of making one DCQCN sender more aggressive (the
+  paper's ``T`` skew); the fine-grained model in :mod:`repro.cc.dcqcn`
+  validates the correspondence.
+* **strict priorities** — flows are grouped by priority class (highest
+  first) and each class is allocated over the capacity the classes above it
+  left behind. This models the paper's §4(ii) switch priority queues.
+
+Rate caps (NIC line rate, app limits) are respected by freezing a flow at
+its cap during filling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..errors import AllocationError
+from .flows import Flow
+from .topology import Link
+
+#: Tolerance for capacity comparisons, relative to link capacity.
+_REL_EPS = 1e-9
+
+
+@dataclass
+class Allocation:
+    """Result of one allocation round.
+
+    Attributes:
+        rates: Allocated rate per flow, bytes/s.
+        link_loads: Total allocated rate crossing each involved link.
+    """
+
+    rates: Dict[Flow, float] = field(default_factory=dict)
+    link_loads: Dict[Link, float] = field(default_factory=dict)
+
+    def rate_of(self, flow: Flow) -> float:
+        """Allocated rate for ``flow`` (0 if it was not in the round)."""
+        return self.rates.get(flow, 0.0)
+
+    def utilization(self, link: Link) -> float:
+        """Fraction of ``link``'s capacity in use, in [0, 1]."""
+        return self.link_loads.get(link, 0.0) / link.capacity
+
+
+class FluidAllocator:
+    """Computes weighted max-min allocations with strict priorities."""
+
+    def allocate(self, flows: Sequence[Flow]) -> Allocation:
+        """Allocate rates to ``flows`` over their (shared) links.
+
+        Flows with a higher ``priority`` value are allocated first and see
+        the full link capacities; each lower class sees what remains.
+        Within a class the split is weighted max-min fair.
+        """
+        allocation = Allocation()
+        if not flows:
+            return allocation
+
+        residual: Dict[Link, float] = {}
+        for flow in flows:
+            for link in flow.links:
+                residual.setdefault(link, link.capacity)
+
+        for priority in sorted({f.priority for f in flows}, reverse=True):
+            class_flows = [f for f in flows if f.priority == priority]
+            class_rates = self._weighted_max_min(class_flows, residual)
+            for flow, rate in class_rates.items():
+                allocation.rates[flow] = rate
+                for link in flow.links:
+                    residual[link] = max(0.0, residual[link] - rate)
+
+        for link in residual:
+            allocation.link_loads[link] = link.capacity - residual[link]
+        self._check(allocation)
+        return allocation
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _weighted_max_min(
+        flows: Sequence[Flow],
+        capacities: Mapping[Link, float],
+    ) -> Dict[Flow, float]:
+        """Progressive filling of one priority class.
+
+        Every unfrozen flow grows at ``weight * theta``; at each step we
+        find the smallest ``theta`` increment that saturates a link or hits
+        a flow's rate cap, freeze the affected flows, and repeat.
+        """
+        rates: Dict[Flow, float] = {flow: 0.0 for flow in flows}
+        frozen: set[Flow] = set()
+        remaining = {link: cap for link, cap in capacities.items()}
+
+        while len(frozen) < len(flows):
+            active = [f for f in flows if f not in frozen]
+            # Smallest theta increment that saturates some constraint.
+            best_delta: Optional[float] = None
+            for link, cap in remaining.items():
+                active_weight = sum(f.weight for f in active if link in f.links)
+                if active_weight <= 0:
+                    continue
+                delta = cap / active_weight
+                if best_delta is None or delta < best_delta:
+                    best_delta = delta
+            for flow in active:
+                if flow.rate_cap is None:
+                    continue
+                headroom = flow.rate_cap - rates[flow]
+                delta = headroom / flow.weight
+                if best_delta is None or delta < best_delta:
+                    best_delta = delta
+            if best_delta is None:
+                # No active flow crosses any constrained link and none has
+                # a cap: rates are unbounded in the fluid model, which means
+                # the caller built flows with empty paths and no caps.
+                raise AllocationError(
+                    "flows without links must carry a rate_cap"
+                )
+            best_delta = max(best_delta, 0.0)
+
+            for flow in active:
+                rates[flow] += flow.weight * best_delta
+            for link in remaining:
+                used = best_delta * sum(
+                    f.weight for f in active if link in f.links
+                )
+                remaining[link] = max(0.0, remaining[link] - used)
+
+            # Freeze flows on saturated links or at their caps.
+            newly_frozen: set[Flow] = set()
+            for flow in active:
+                if flow.rate_cap is not None and (
+                    rates[flow] >= flow.rate_cap * (1 - _REL_EPS)
+                ):
+                    rates[flow] = min(rates[flow], flow.rate_cap)
+                    newly_frozen.add(flow)
+            for link, cap in remaining.items():
+                if cap <= capacities[link] * _REL_EPS:
+                    for flow in active:
+                        if link in flow.links:
+                            newly_frozen.add(flow)
+            if not newly_frozen:
+                # Numerical safety net: freeze everything rather than spin.
+                newly_frozen = set(active)
+            frozen |= newly_frozen
+        return rates
+
+    @staticmethod
+    def _check(allocation: Allocation) -> None:
+        """Assert no link is oversubscribed (guards against regressions)."""
+        for link, load in allocation.link_loads.items():
+            if load > link.capacity * (1 + 1e-6):
+                raise AllocationError(
+                    f"link {link.name} oversubscribed: "
+                    f"{load:.6g} > {link.capacity:.6g}"
+                )

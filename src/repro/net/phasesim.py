@@ -1,0 +1,499 @@
+"""Phase-level event simulation of ML training jobs on a network.
+
+Jobs alternate compute phases (no traffic) and communication phases
+(``comm_bytes`` injected along the job's route). Whenever the set of
+communicating jobs changes — or, for progress-dependent policies, on a
+periodic tick — the simulator asks the share policy for weights/priorities
+and the fluid allocator for rates. Between such events rates are constant,
+so phase completions are computed *exactly*; there is no time-stepping
+error. This is the engine behind Table 1, Figure 1d and Figure 2.
+
+The sliding effect the paper describes needs no special code: with a
+weighted (unfair) policy, the favoured job's communication phase ends
+earlier, its next compute phase starts earlier, and after a few iterations
+the jobs' phases interleave — exactly the Figure 2b dynamics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError, WorkloadError
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from ..sim.trace import StepFunction
+from ..workloads.job import JobSpec
+from .flows import Flow
+from .fluid import FluidAllocator
+from .routing import Router
+from .topology import Topology
+
+if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
+    from ..cc.base import SharePolicy
+
+#: Residual bytes below which a communication phase counts as finished.
+_BYTES_EPSILON = 1.0
+
+#: A gate delays the start of a communication phase: called with
+#: ``(job_id, now)`` it returns the earliest permitted start time (>= now).
+Gate = Callable[[str, float], float]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job within one iteration."""
+
+    IDLE = "idle"
+    COMPUTE = "compute"
+    WAITING = "waiting"  # compute done, gated before communication
+    COMM = "comm"
+    DONE = "done"
+
+
+@dataclass
+class IterationRecord:
+    """Timing of one completed training iteration."""
+
+    index: int
+    start: float
+    comm_start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Iteration time, seconds."""
+        return self.end - self.start
+
+    @property
+    def comm_duration(self) -> float:
+        """Communication-phase duration (including queueing), seconds."""
+        return self.end - self.comm_start
+
+
+class JobRun:
+    """Runtime state of one job inside the simulator."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        flows: List[Flow],
+        n_iterations: int,
+        start_offset: float,
+        gate: Optional[Gate],
+        rng: np.random.Generator,
+    ) -> None:
+        self.spec = spec
+        #: The job's flows. Classic jobs have one; ring-allreduce jobs
+        #: have one per hop, moving in lockstep (synchronous collective).
+        self.flows = flows
+        self.n_iterations = n_iterations
+        self.start_offset = start_offset
+        self.gate = gate
+        self.state = JobState.IDLE
+        self.iterations_done = 0
+        self.comm_sent = 0.0
+        self.iteration_start = 0.0
+        self.comm_start = 0.0
+        self.segment_index = 0
+        self.compute_factor = 1.0
+        self.records: List[IterationRecord] = []
+        self.rate_trace = StepFunction(0.0, name=f"rate:{spec.job_id}")
+        self._rng = rng
+        self._finish_event = None
+        self._segments = spec.effective_segments()
+
+    @property
+    def flow(self) -> Flow:
+        """The job's primary flow (handed to policy hooks)."""
+        return self.flows[0]
+
+    @property
+    def job_id(self) -> str:
+        """The job's identifier."""
+        return self.spec.job_id
+
+    @property
+    def done(self) -> bool:
+        """Whether all requested iterations completed."""
+        return self.state is JobState.DONE
+
+    def iteration_times(self) -> np.ndarray:
+        """Durations of completed iterations, seconds."""
+        return np.asarray([r.duration for r in self.records], dtype=float)
+
+    def sample_compute_factor(self) -> float:
+        """Per-iteration multiplicative compute jitter (1.0 when none)."""
+        if self.spec.compute_jitter <= 0:
+            return 1.0
+        noise = self._rng.normal(0.0, self.spec.compute_jitter)
+        return max(1.0 + noise, 0.0)
+
+    @property
+    def n_segments(self) -> int:
+        """Sub-phases per iteration (1 for the classic on-off job)."""
+        return len(self._segments)
+
+    def segment_compute_time(self) -> float:
+        """Jittered compute time of the current segment."""
+        return self._segments[self.segment_index][0] * self.compute_factor
+
+    def segment_comm_bytes(self) -> float:
+        """Communication bytes of the current segment."""
+        return self._segments[self.segment_index][1]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a phase-level run produced.
+
+    Attributes:
+        jobs: Completed job runs keyed by job id.
+        link_loads: Piecewise-constant total load on every traversed link.
+        duration: Simulation time at which the run ended.
+    """
+
+    jobs: Dict[str, JobRun] = field(default_factory=dict)
+    link_loads: Dict[str, StepFunction] = field(default_factory=dict)
+    duration: float = 0.0
+
+    def iteration_times(self, job_id: str) -> np.ndarray:
+        """Iteration durations for one job, seconds."""
+        return self.jobs[job_id].iteration_times()
+
+    def mean_iteration_time(self, job_id: str, skip: int = 0) -> float:
+        """Mean iteration time, optionally skipping warm-up iterations."""
+        times = self.iteration_times(job_id)[skip:]
+        if times.size == 0:
+            raise SimulationError(f"job {job_id} has no iterations after skip")
+        return float(times.mean())
+
+    def median_iteration_time(self, job_id: str, skip: int = 0) -> float:
+        """Median iteration time, optionally skipping warm-up iterations."""
+        times = self.iteration_times(job_id)[skip:]
+        if times.size == 0:
+            raise SimulationError(f"job {job_id} has no iterations after skip")
+        return float(np.median(times))
+
+
+class PhaseLevelSimulator:
+    """Runs training jobs over a topology under a share policy."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: "SharePolicy",
+        router: Optional[Router] = None,
+        allocator: Optional[FluidAllocator] = None,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.policy = policy
+        self.router = router if router is not None else Router(topology)
+        self.allocator = allocator if allocator is not None else FluidAllocator()
+        self._streams = RandomStreams(seed)
+        self._sim = Simulator()
+        self._jobs: List[JobRun] = []
+        self._active: List[JobRun] = []
+        self._rates: Dict[JobRun, float] = {}
+        self._last_progress_update = 0.0
+        self._link_loads: Dict[str, StepFunction] = {}
+        self._tick_event = None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def add_job(
+        self,
+        spec: JobSpec,
+        src: str,
+        dst: str,
+        n_iterations: int,
+        start_offset: float = 0.0,
+        gate: Optional[Gate] = None,
+    ) -> JobRun:
+        """Register a job whose traffic flows ``src -> dst``.
+
+        Args:
+            spec: The job's phase profile.
+            src: Sending host.
+            dst: Receiving host.
+            n_iterations: Iterations to run before the job stops.
+            start_offset: Simulation time of the first compute phase.
+            gate: Optional flow-scheduling gate (§4, direction iii).
+        """
+        return self._register(
+            spec, [(src, dst)], n_iterations, start_offset, gate
+        )
+
+    def add_ring_job(
+        self,
+        spec: JobSpec,
+        worker_hosts: Sequence[str],
+        n_iterations: int,
+        start_offset: float = 0.0,
+        gate: Optional[Gate] = None,
+    ) -> JobRun:
+        """Register a ring-allreduce job across ``worker_hosts``.
+
+        One flow is created per ring hop between *distinct* hosts
+        (including the closing hop back to the first worker). Ring
+        allreduce is synchronous: every hop carries the same bytes and
+        the collective advances at the rate of the slowest hop, which is
+        exactly how the simulator treats the job's flows.
+        """
+        hosts = list(worker_hosts)
+        if len(hosts) < 2:
+            raise ConfigError("a ring job needs at least two workers")
+        pairs = []
+        ring = hosts + [hosts[0]]
+        for a, b in zip(ring, ring[1:]):
+            if a != b:
+                pairs.append((a, b))
+        if not pairs:
+            raise ConfigError("ring workers must span at least two hosts")
+        return self._register(
+            spec, pairs, n_iterations, start_offset, gate
+        )
+
+    def _register(
+        self,
+        spec: JobSpec,
+        endpoints: Sequence[tuple],
+        n_iterations: int,
+        start_offset: float,
+        gate: Optional[Gate],
+    ) -> JobRun:
+        if n_iterations < 1:
+            raise WorkloadError("n_iterations must be >= 1")
+        if start_offset < 0:
+            raise ConfigError("start_offset must be >= 0")
+        if any(run.job_id == spec.job_id for run in self._jobs):
+            raise ConfigError(f"duplicate job id {spec.job_id!r}")
+        flows: List[Flow] = []
+        for index, (src, dst) in enumerate(endpoints):
+            links = self.router.route(
+                src, dst, flow_label=f"{spec.job_id}:{index}"
+            )
+            flows.append(
+                Flow(
+                    flow_id=f"flow:{spec.job_id}:{index}",
+                    src=src,
+                    dst=dst,
+                    links=links,
+                    job_id=spec.job_id,
+                )
+            )
+        run = JobRun(
+            spec=spec,
+            flows=flows,
+            n_iterations=n_iterations,
+            start_offset=start_offset,
+            gate=gate,
+            rng=self._streams.get(f"job:{spec.job_id}"),
+        )
+        self._jobs.append(run)
+        for flow in flows:
+            for link in flow.links:
+                self._link_loads.setdefault(
+                    link.name, StepFunction(0.0, name=f"load:{link.name}")
+                )
+        return run
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Execute the simulation and collect results.
+
+        Runs until every job finishes its iterations or the clock reaches
+        ``until``.
+        """
+        if not self._jobs:
+            raise SimulationError("add at least one job before run()")
+        self.policy.prepare(
+            [flow for run in self._jobs for flow in run.flows]
+        )
+        for run in self._jobs:
+            self._sim.schedule_at(run.start_offset, self._begin_iteration, run)
+        end_time = self._sim.run(until=until)
+        return SimulationResult(
+            jobs={run.job_id: run for run in self._jobs},
+            link_loads=self._link_loads,
+            duration=end_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+
+    def _begin_iteration(self, run: JobRun) -> None:
+        run.state = JobState.COMPUTE
+        run.iteration_start = self._sim.now
+        run.segment_index = 0
+        run.compute_factor = run.sample_compute_factor()
+        self._sim.schedule(
+            run.segment_compute_time(), self._finish_compute, run
+        )
+
+    def _finish_compute(self, run: JobRun) -> None:
+        now = self._sim.now
+        if run.gate is not None:
+            allowed = run.gate(run.job_id, now)
+            if allowed < now - 1e-12:
+                raise SimulationError(
+                    f"gate for {run.job_id} returned a past time"
+                )
+            if allowed > now:
+                run.state = JobState.WAITING
+                self._sim.schedule_at(allowed, self._begin_comm, run)
+                return
+        self._begin_comm(run)
+
+    def _begin_comm(self, run: JobRun) -> None:
+        run.state = JobState.COMM
+        if run.segment_index == 0:
+            run.comm_start = self._sim.now
+        run.comm_sent = 0.0
+        for flow in run.flows:
+            flow.progress = 0.0
+        self.policy.on_phase_start(run.flow)
+        self._active.append(run)
+        self._reallocate()
+
+    def _finish_comm(self, run: JobRun) -> None:
+        now = self._sim.now
+        run._finish_event = None
+        self._advance_progress(now)
+        # Guard against spurious events racing a reallocation.
+        remaining = run.segment_comm_bytes() - run.comm_sent
+        if remaining > _BYTES_EPSILON:
+            self._reallocate()
+            return
+        self.policy.on_phase_end(run.flow)
+        self._active.remove(run)
+        self._rates.pop(run, None)
+        run.rate_trace.set(now, 0.0)
+        if run.segment_index + 1 < run.n_segments:
+            # More sub-phases this iteration (layer-wise allreduce).
+            run.segment_index += 1
+            run.state = JobState.COMPUTE
+            self._sim.schedule(
+                run.segment_compute_time(), self._finish_compute, run
+            )
+            self._reallocate()
+            return
+        run.records.append(
+            IterationRecord(
+                index=run.iterations_done,
+                start=run.iteration_start,
+                comm_start=run.comm_start,
+                end=now,
+            )
+        )
+        run.iterations_done += 1
+        if run.iterations_done >= run.n_iterations:
+            run.state = JobState.DONE
+        else:
+            self._begin_iteration(run)
+        self._reallocate()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def _advance_progress(self, now: float) -> None:
+        """Credit bytes sent since the last rate change to each flow."""
+        dt = now - self._last_progress_update
+        if dt > 0:
+            for run in self._active:
+                run.comm_sent += self._rates.get(run, 0.0) * dt
+        self._last_progress_update = now
+
+    def _reallocate(self) -> None:
+        now = self._sim.now
+        self._advance_progress(now)
+
+        flows: List[Flow] = []
+        for run in self._active:
+            progress = min(
+                run.comm_sent / run.segment_comm_bytes(), 1.0
+            )
+            for flow in run.flows:
+                flow.progress = progress
+                flow.weight = self.policy.weight_of(flow)
+                flow.priority = self.policy.priority_of(flow)
+                flow.rate_cap = None  # reset any prior lockstep cap
+                flows.append(flow)
+
+        allocation = self.allocator.allocate(flows)
+
+        def job_rate(run: JobRun) -> float:
+            # Synchronous collectives advance at the slowest hop.
+            return min(allocation.rate_of(flow) for flow in run.flows)
+
+        if any(len(run.flows) > 1 for run in self._active):
+            # Lockstep redistribution: cap every hop of a multi-flow job
+            # at its slowest hop's rate and re-allocate once, so flows
+            # sharing links with the bottleneck hop reclaim the slack.
+            for run in self._active:
+                rate = job_rate(run)
+                if rate > 0:
+                    for flow in run.flows:
+                        flow.rate_cap = rate
+            allocation = self.allocator.allocate(flows)
+
+        # Update rates and reschedule each active job's completion.
+        for run in self._active:
+            rate = job_rate(run)
+            self._rates[run] = rate
+            run.rate_trace.set(now, rate)
+            if run._finish_event is not None:
+                self._sim.cancel(run._finish_event)
+                run._finish_event = None
+            remaining = run.segment_comm_bytes() - run.comm_sent
+            if remaining <= _BYTES_EPSILON:
+                run._finish_event = self._sim.schedule(
+                    0.0, self._finish_comm, run
+                )
+            elif rate > 0:
+                run._finish_event = self._sim.schedule(
+                    remaining / rate, self._finish_comm, run
+                )
+            # rate == 0 (starved by a higher priority class): no event; the
+            # next state change will reallocate and reschedule.
+
+        self._record_link_loads(now, allocation)
+        self._manage_tick()
+
+    def _record_link_loads(self, now: float, allocation) -> None:
+        loads: Dict[str, float] = {name: 0.0 for name in self._link_loads}
+        for run in self._active:
+            rate = self._rates.get(run, 0.0)
+            for flow in run.flows:
+                for link in flow.links:
+                    loads[link.name] += rate
+        for name, load in loads.items():
+            self._link_loads[name].set(now, load)
+
+    def _manage_tick(self) -> None:
+        """Keep a periodic reallocation tick alive for adaptive policies."""
+        interval = self.policy.reallocation_interval
+        if interval is None:
+            return
+        if self._tick_event is not None:
+            self._sim.cancel(self._tick_event)
+            self._tick_event = None
+        if self._active:
+            self._tick_event = self._sim.schedule(
+                interval, self._tick, priority=1
+            )
+
+    def _tick(self) -> None:
+        self._tick_event = None
+        if self._active:
+            self._reallocate()

@@ -1,0 +1,102 @@
+"""Routing: shortest-path and ECMP route selection.
+
+The paper's placement discussion (§4) notes that the scheduler must learn
+network routes ("e.g. ECMP routing decisions") before it can reason about
+which jobs share which links. :class:`EcmpRouter` models switch-style ECMP:
+among all shortest paths it picks one by a deterministic hash of the flow
+five-tuple surrogate ``(src, dst, flow_label)``, so the same flow is always
+routed the same way, while different flows spread across equal-cost paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import RoutingError
+from .topology import Link, Topology
+
+
+class Router:
+    """Deterministic single-shortest-path routing."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._graph = topology.graph()
+        self._path_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this router routes over."""
+        return self._topology
+
+    def route(self, src: str, dst: str, flow_label: str = "") -> List[Link]:
+        """Return the links along the route from ``src`` to ``dst``.
+
+        Raises:
+            RoutingError: if no path exists.
+        """
+        return self._topology.path_links(self.node_path(src, dst, flow_label))
+
+    def node_path(self, src: str, dst: str, flow_label: str = "") -> List[str]:
+        """Return the node sequence of the route (see :meth:`route`)."""
+        key = (src, dst)
+        if key not in self._path_cache:
+            try:
+                self._path_cache[key] = nx.shortest_path(self._graph, src, dst)
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise RoutingError(f"no route {src} -> {dst}") from exc
+        return self._path_cache[key]
+
+
+class EcmpRouter(Router):
+    """Equal-cost multipath routing with deterministic flow hashing."""
+
+    def __init__(self, topology: Topology, salt: int = 0) -> None:
+        super().__init__(topology)
+        self._salt = salt
+        self._ecmp_cache: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
+        """All shortest node paths between ``src`` and ``dst``, sorted."""
+        key = (src, dst)
+        if key not in self._ecmp_cache:
+            try:
+                paths = sorted(nx.all_shortest_paths(self._graph, src, dst))
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise RoutingError(f"no route {src} -> {dst}") from exc
+            self._ecmp_cache[key] = paths
+        return self._ecmp_cache[key]
+
+    def node_path(self, src: str, dst: str, flow_label: str = "") -> List[str]:
+        """Pick one equal-cost path by hashing the flow identity."""
+        paths = self.equal_cost_paths(src, dst)
+        if len(paths) == 1:
+            return paths[0]
+        digest = hashlib.sha256(
+            f"{self._salt}|{src}|{dst}|{flow_label}".encode("utf-8")
+        ).digest()
+        index = int.from_bytes(digest[:8], "little") % len(paths)
+        return paths[index]
+
+
+def links_shared_by(
+    router: Router,
+    endpoints: Sequence[Tuple[str, str, str]],
+) -> Dict[Link, List[int]]:
+    """Map each link to the indices of the flows routed over it.
+
+    Args:
+        router: Router used to resolve each flow's path.
+        endpoints: ``(src, dst, flow_label)`` triples, one per flow.
+
+    Returns:
+        ``{link: [flow indices]}`` including only links carrying >= 1 flow.
+    """
+    sharing: Dict[Link, List[int]] = {}
+    for index, (src, dst, label) in enumerate(endpoints):
+        for link in router.route(src, dst, label):
+            sharing.setdefault(link, []).append(index)
+    return sharing

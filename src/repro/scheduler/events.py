@@ -1,0 +1,130 @@
+"""Dynamic job arrivals and departures.
+
+A lightweight queueing layer over :class:`~repro.scheduler.cluster.
+ClusterState`: jobs arrive on a Poisson process, are placed by a policy
+(or rejected), and leave after a lifetime. :func:`replay` records, at each
+arrival, whether the placement kept every shared link fully compatible —
+the statistic the paper's §4 placement argument is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.compatibility import CompatibilityChecker
+from ..errors import PlacementError
+from ..workloads.generator import WorkloadGenerator
+from ..workloads.job import JobSpec
+from .cluster import ClusterState
+from .placement import PlacementPolicy
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job arriving at ``time`` and departing at ``time + lifetime``."""
+
+    time: float
+    spec: JobSpec
+    n_workers: int
+    lifetime: float
+
+
+def arrival_schedule(
+    generator: WorkloadGenerator,
+    count: int,
+    mean_interarrival_s: float = 60.0,
+    mean_lifetime_s: float = 600.0,
+) -> List[JobArrival]:
+    """Draw a Poisson arrival schedule from a workload generator."""
+    times = generator.arrival_times(count, mean_interarrival_s)
+    arrivals: List[JobArrival] = []
+    for index, time in enumerate(times):
+        spec = generator.job(f"dyn-{index}")
+        arrivals.append(
+            JobArrival(
+                time=float(time),
+                spec=spec,
+                n_workers=spec.n_workers,
+                lifetime=mean_lifetime_s,
+            )
+        )
+    return arrivals
+
+
+@dataclass
+class ReplayStats:
+    """Outcome of replaying an arrival schedule against a policy.
+
+    Attributes:
+        placed: Jobs successfully placed.
+        rejected: Jobs that did not fit.
+        compatible_placements: Placements where every shared link stayed
+            fully compatible (rack-local placements count — they share no
+            link).
+        incompatible_placements: Placements that created at least one
+            incompatible link.
+    """
+
+    placed: int = 0
+    rejected: int = 0
+    compatible_placements: int = 0
+    incompatible_placements: int = 0
+    incompatible_links: List[str] = field(default_factory=list)
+
+    @property
+    def compatibility_rate(self) -> float:
+        """Fraction of placements that kept all links compatible."""
+        if self.placed == 0:
+            return 1.0
+        return self.compatible_placements / self.placed
+
+
+def replay(
+    cluster: ClusterState,
+    policy: PlacementPolicy,
+    arrivals: Sequence[JobArrival],
+    checker: Optional[CompatibilityChecker] = None,
+) -> ReplayStats:
+    """Apply arrivals/departures in time order and audit compatibility."""
+    checker = checker if checker is not None else CompatibilityChecker()
+    stats = ReplayStats()
+    departures: List[tuple[float, str]] = []
+    for arrival in sorted(arrivals, key=lambda a: a.time):
+        # Free any jobs that completed before this arrival.
+        still_running = []
+        for depart_time, job_id in departures:
+            if depart_time <= arrival.time:
+                cluster.remove(job_id)
+            else:
+                still_running.append((depart_time, job_id))
+        departures = still_running
+
+        try:
+            hosts = policy.place(cluster, arrival.spec, arrival.n_workers)
+        except PlacementError:
+            stats.rejected += 1
+            continue
+        cluster.place(arrival.spec, hosts)
+        departures.append(
+            (arrival.time + arrival.lifetime, arrival.spec.job_id)
+        )
+        stats.placed += 1
+
+        # Audit: did this placement keep all its links compatible?
+        job = cluster.job(arrival.spec.job_id)
+        clean = True
+        for link_name, sharers in cluster.jobs_sharing_links_with(
+            job.links
+        ).items():
+            specs = [j.spec for j in sharers if j.uses_network]
+            if len(specs) < 2:
+                continue
+            if not checker.check(specs).compatible:
+                clean = False
+                stats.incompatible_links.append(link_name)
+        if clean:
+            stats.compatible_placements += 1
+        else:
+            stats.incompatible_placements += 1
+    return stats

@@ -1,0 +1,270 @@
+"""Placement policies.
+
+Three policies span the design space the paper discusses:
+
+* :class:`RandomPlacement` — scatter workers anywhere there are free GPUs
+  (the pathological baseline).
+* :class:`ConsolidatedPlacement` — pack workers into as few racks as
+  possible (today's locality-first approach, à la Themis/Gandiva): it
+  minimizes the *probability* of sharing a link but ignores *who* is
+  shared with when spilling across racks is unavoidable.
+* :class:`CompatibilityAwarePlacement` — the paper's proposal: when a job
+  must cross racks, prefer uplinks where the set of jobs it would share
+  with remains fully compatible; otherwise maximize the compatibility
+  score (minimize unavoidable overlap).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.compatibility import CompatibilityChecker
+from ..errors import PlacementError
+from ..sim.rng import RandomStreams
+from ..workloads.job import JobSpec
+from .cluster import ClusterState
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses hosts (one GPU each) for a job's workers."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def place(
+        self, cluster: ClusterState, spec: JobSpec, n_workers: int
+    ) -> List[str]:
+        """Return ``n_workers`` hosts (repeats allowed, rack-ordered).
+
+        Raises:
+            PlacementError: when the job cannot be placed.
+        """
+
+    @staticmethod
+    def _slots_by_rack(cluster: ClusterState) -> Dict[str, List[str]]:
+        """Free GPU slots per rack as repeated host names."""
+        slots: Dict[str, List[str]] = {}
+        for rack, hosts in cluster.hosts_by_rack().items():
+            rack_slots = [
+                host
+                for host in hosts
+                for _ in range(cluster.free_gpus(host))
+            ]
+            if rack_slots:
+                slots[rack] = rack_slots
+        return slots
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniformly random free GPU slots."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = RandomStreams(seed).get("random-placement")
+
+    def place(
+        self, cluster: ClusterState, spec: JobSpec, n_workers: int
+    ) -> List[str]:
+        slots = [
+            host
+            for rack_slots in self._slots_by_rack(cluster).values()
+            for host in rack_slots
+        ]
+        if len(slots) < n_workers:
+            raise PlacementError(
+                f"{spec.job_id}: {n_workers} workers > {len(slots)} free GPUs"
+            )
+        picked = list(
+            self._rng.choice(len(slots), size=n_workers, replace=False)
+        )
+        hosts = [slots[i] for i in picked]
+        # Rack-order the hosts so the aggregate flow is well-defined.
+        rack_of = {h: cluster.topology.rack_of(h) or "" for h in set(hosts)}
+        hosts.sort(key=lambda h: (rack_of[h], h))
+        return hosts
+
+
+class ConsolidatedPlacement(PlacementPolicy):
+    """Fewest racks first (locality-only, Themis-style)."""
+
+    name = "consolidated"
+
+    def place(
+        self, cluster: ClusterState, spec: JobSpec, n_workers: int
+    ) -> List[str]:
+        slots_by_rack = self._slots_by_rack(cluster)
+        # A single rack that fits wins outright.
+        for rack in sorted(
+            slots_by_rack, key=lambda r: len(slots_by_rack[r])
+        ):
+            if len(slots_by_rack[rack]) >= n_workers:
+                return slots_by_rack[rack][:n_workers]
+        # Otherwise greedily take the fullest racks.
+        hosts: List[str] = []
+        for rack in sorted(
+            slots_by_rack, key=lambda r: -len(slots_by_rack[r])
+        ):
+            take = min(n_workers - len(hosts), len(slots_by_rack[rack]))
+            hosts.extend(slots_by_rack[rack][:take])
+            if len(hosts) == n_workers:
+                return hosts
+        raise PlacementError(
+            f"{spec.job_id}: {n_workers} workers > "
+            f"{cluster.total_free_gpus()} free GPUs"
+        )
+
+
+class CompatibilityAwarePlacement(PlacementPolicy):
+    """Locality first; compatibility decides among cross-rack spills.
+
+    Candidate placements are generated rack-locally when possible (no
+    shared links, trivially safe); otherwise every pair of racks that
+    jointly fits the job is scored: a candidate is *clean* if, on every
+    uplink the new job would traverse, the set of sharing jobs (existing
+    plus new) remains fully compatible. Clean candidates win; otherwise
+    the candidate with the highest residual compatibility (lowest overlap
+    fraction) is chosen.
+    """
+
+    name = "compatibility-aware"
+
+    def __init__(
+        self,
+        checker: Optional[CompatibilityChecker] = None,
+        max_candidates: int = 16,
+        cluster_level: bool = False,
+    ) -> None:
+        """Create the policy.
+
+        Args:
+            checker: Compatibility checker (profiling bandwidth etc.).
+            max_candidates: Cross-rack candidate placements to score.
+            cluster_level: When True, a candidate is *clean* only if one
+                rotation per job satisfies **every** link simultaneously
+                (the §5 cluster-level criterion via
+                :class:`repro.core.cluster_compat.
+                ClusterCompatibilityProblem`); the default checks each
+                link independently, which is necessary but not
+                sufficient when jobs span several contended links.
+        """
+        if max_candidates < 1:
+            raise PlacementError("max_candidates must be >= 1")
+        self.checker = checker if checker is not None else CompatibilityChecker()
+        self.max_candidates = max_candidates
+        self.cluster_level = cluster_level
+
+    def place(
+        self, cluster: ClusterState, spec: JobSpec, n_workers: int
+    ) -> List[str]:
+        slots_by_rack = self._slots_by_rack(cluster)
+        # Rack-local placement shares no uplinks: always safe.
+        for rack in sorted(
+            slots_by_rack, key=lambda r: len(slots_by_rack[r])
+        ):
+            if len(slots_by_rack[rack]) >= n_workers:
+                return slots_by_rack[rack][:n_workers]
+
+        candidates = self._cross_rack_candidates(
+            slots_by_rack, n_workers
+        )
+        if not candidates:
+            raise PlacementError(
+                f"{spec.job_id}: {n_workers} workers > "
+                f"{cluster.total_free_gpus()} free GPUs"
+            )
+        best_hosts: Optional[List[str]] = None
+        best_key: Optional[Tuple[int, float]] = None
+        for hosts in candidates:
+            compatible, overlap = self._score(cluster, spec, hosts)
+            key = (0 if compatible else 1, overlap)
+            if best_key is None or key < best_key:
+                best_key, best_hosts = key, hosts
+                if key == (0, 0.0):
+                    break
+        assert best_hosts is not None
+        return best_hosts
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _cross_rack_candidates(
+        self,
+        slots_by_rack: Dict[str, List[str]],
+        n_workers: int,
+    ) -> List[List[str]]:
+        """Rack pairs (then greedy multi-rack) that fit the job."""
+        racks = sorted(slots_by_rack, key=lambda r: -len(slots_by_rack[r]))
+        candidates: List[List[str]] = []
+        for i, first in enumerate(racks):
+            for second in racks[i + 1:]:
+                total = len(slots_by_rack[first]) + len(slots_by_rack[second])
+                if total < n_workers:
+                    continue
+                take_first = min(n_workers, len(slots_by_rack[first]))
+                hosts = (
+                    slots_by_rack[first][:take_first]
+                    + slots_by_rack[second][: n_workers - take_first]
+                )
+                candidates.append(hosts)
+                if len(candidates) >= self.max_candidates:
+                    return candidates
+        if not candidates:
+            # Fall back to a greedy spread over many racks.
+            hosts = []
+            for rack in racks:
+                take = min(n_workers - len(hosts), len(slots_by_rack[rack]))
+                hosts.extend(slots_by_rack[rack][:take])
+                if len(hosts) == n_workers:
+                    candidates.append(hosts)
+                    break
+        return candidates
+
+    def _score(
+        self,
+        cluster: ClusterState,
+        spec: JobSpec,
+        hosts: Sequence[str],
+    ) -> Tuple[bool, float]:
+        """(all-links-compatible, worst overlap fraction) for a candidate."""
+        links = cluster.router.route(
+            hosts[0], hosts[-1], flow_label=spec.job_id
+        )
+        sharing = cluster.jobs_sharing_links_with(links)
+        worst_overlap = 0.0
+        all_compatible = True
+        for link_jobs in sharing.values():
+            specs = [job.spec for job in link_jobs if job.uses_network]
+            if not specs:
+                continue
+            result = self.checker.check(specs + [spec])
+            if not result.compatible:
+                all_compatible = False
+                worst_overlap = max(worst_overlap, result.overlap_fraction)
+        if all_compatible and self.cluster_level:
+            all_compatible = self._cluster_level_clean(cluster, spec, links)
+        return all_compatible, worst_overlap
+
+    def _cluster_level_clean(
+        self,
+        cluster: ClusterState,
+        spec: JobSpec,
+        links,
+    ) -> bool:
+        """§5 check: one rotation per job must satisfy every link."""
+        from ..core.cluster_compat import ClusterCompatibilityProblem
+
+        network_jobs = [job for job in cluster.jobs if job.uses_network]
+        circles = [self.checker.circle(job.spec) for job in network_jobs]
+        circles.append(self.checker.circle(spec))
+        links_by_job = {
+            job.job_id: [link.name for link in job.links]
+            for job in network_jobs
+        }
+        links_by_job[spec.job_id] = [link.name for link in links]
+        problem = ClusterCompatibilityProblem.from_assignments(
+            circles, links_by_job
+        )
+        return problem.solve().compatible

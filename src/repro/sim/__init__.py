@@ -1,0 +1,23 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, dependency-free core: an event heap
+(:mod:`repro.sim.events`), a simulator loop (:mod:`repro.sim.engine`),
+seeded random streams (:mod:`repro.sim.rng`) and time-series probes
+(:mod:`repro.sim.trace`). Every simulator in the library — the fine-grained
+DCQCN fluid integrator, the phase-level network simulator, and the
+cluster-scheduling simulator — runs on this engine.
+"""
+
+from .events import Event, EventQueue
+from .engine import Simulator
+from .rng import RandomStreams
+from .trace import TimeSeries, StepFunction
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RandomStreams",
+    "TimeSeries",
+    "StepFunction",
+]

@@ -1,0 +1,22 @@
+"""Switch models.
+
+* :mod:`repro.switches.queues` — a fluid egress queue integrator.
+* :mod:`repro.switches.ecn` — RED-style ECN marking, the congestion signal
+  DCQCN reacts to.
+* :mod:`repro.switches.priority` — strict-priority service (the paper's
+  §4(ii) mechanism).
+* :mod:`repro.switches.wfq` — weighted fair queueing on a single port,
+  the single-link reference for the network-wide fluid allocator.
+"""
+
+from .queues import FluidQueue
+from .ecn import RedEcnMarker
+from .priority import StrictPriorityScheduler
+from .wfq import WeightedFairScheduler
+
+__all__ = [
+    "FluidQueue",
+    "RedEcnMarker",
+    "StrictPriorityScheduler",
+    "WeightedFairScheduler",
+]

@@ -1,0 +1,39 @@
+"""RED-style ECN marking.
+
+DCQCN's congestion signal: the switch marks packets with a probability that
+is 0 below ``kmin`` bytes of queue, rises linearly to ``pmax`` at ``kmax``,
+and is 1 above ``kmax``. Default thresholds follow the DCQCN paper's
+recommended settings scaled for a 50 Gbps port.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import kib
+
+
+class RedEcnMarker:
+    """Computes per-packet ECN marking probability from queue occupancy."""
+
+    def __init__(
+        self,
+        kmin: float = kib(100),
+        kmax: float = kib(400),
+        pmax: float = 0.1,
+    ) -> None:
+        if kmin < 0 or kmax <= kmin:
+            raise ConfigError(f"need 0 <= kmin < kmax, got {kmin}, {kmax}")
+        if not 0.0 < pmax <= 1.0:
+            raise ConfigError(f"pmax must be in (0, 1], got {pmax}")
+        self.kmin = kmin
+        self.kmax = kmax
+        self.pmax = pmax
+
+    def marking_probability(self, occupancy: float) -> float:
+        """Probability a packet is ECN-marked at this queue occupancy."""
+        if occupancy <= self.kmin:
+            return 0.0
+        if occupancy >= self.kmax:
+            return 1.0
+        span = self.kmax - self.kmin
+        return self.pmax * (occupancy - self.kmin) / span

@@ -1,0 +1,45 @@
+"""Strict-priority fluid service on a single port.
+
+The paper's §4(ii) mechanism: each job competing on a link is assigned a
+*unique* priority; the switch serves higher classes first, which mimics the
+desirable side effect of unfairness without touching the congestion control.
+This module is the single-port reference model; the network-wide version is
+the priority handling in :class:`repro.net.fluid.FluidAllocator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import ConfigError
+
+
+class StrictPriorityScheduler:
+    """Serve fluid demand by strict priority on one port."""
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+
+    def service_rates(self, demands: Mapping[int, float]) -> Dict[int, float]:
+        """Split capacity across priority classes.
+
+        Args:
+            demands: ``{priority: demanded rate}``; higher priority values
+                are served first.
+
+        Returns:
+            ``{priority: service rate}``; demand above residual capacity is
+            truncated, lower classes see what remains.
+        """
+        for priority, demand in demands.items():
+            if demand < 0:
+                raise ConfigError(f"negative demand for class {priority}")
+        rates: Dict[int, float] = {}
+        residual = self.capacity
+        for priority in sorted(demands, reverse=True):
+            granted = min(demands[priority], residual)
+            rates[priority] = granted
+            residual -= granted
+        return rates

@@ -1,0 +1,65 @@
+"""Fluid egress-queue model.
+
+The queue at a switch egress port grows at the excess of total arrival rate
+over service capacity and drains at the deficit, never going negative:
+
+    dq/dt = max(arrival - capacity, -q/dt)
+
+:class:`FluidQueue` integrates this exactly over a step of constant arrival
+rate, which is all the fixed-step DCQCN simulator needs.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class FluidQueue:
+    """Occupancy of one egress port under fluid arrivals.
+
+    Attributes:
+        capacity: Service rate, bytes/s.
+        occupancy: Current backlog, bytes.
+    """
+
+    def __init__(self, capacity: float, max_occupancy: float = float("inf")):
+        if capacity <= 0:
+            raise ConfigError(f"queue capacity must be > 0, got {capacity}")
+        if max_occupancy <= 0:
+            raise ConfigError("max_occupancy must be > 0")
+        self.capacity = capacity
+        self.max_occupancy = max_occupancy
+        self.occupancy = 0.0
+        self._dropped = 0.0
+
+    @property
+    def dropped_bytes(self) -> float:
+        """Total fluid discarded at the tail (only if max_occupancy set)."""
+        return self._dropped
+
+    def step(self, arrival_rate: float, dt: float) -> float:
+        """Advance the queue by ``dt`` seconds of constant ``arrival_rate``.
+
+        Returns:
+            The queue occupancy after the step, bytes.
+        """
+        if dt < 0:
+            raise ConfigError(f"dt must be >= 0, got {dt}")
+        if arrival_rate < 0:
+            raise ConfigError("arrival_rate must be >= 0")
+        net = arrival_rate - self.capacity
+        if net >= 0:
+            new_occupancy = self.occupancy + net * dt
+        else:
+            # Drains linearly; clamp at empty.
+            new_occupancy = max(0.0, self.occupancy + net * dt)
+        if new_occupancy > self.max_occupancy:
+            self._dropped += new_occupancy - self.max_occupancy
+            new_occupancy = self.max_occupancy
+        self.occupancy = new_occupancy
+        return self.occupancy
+
+    def reset(self) -> None:
+        """Empty the queue and clear drop accounting."""
+        self.occupancy = 0.0
+        self._dropped = 0.0

@@ -1,0 +1,72 @@
+"""Weighted fair queueing (fluid) on a single port.
+
+The single-link reference model for weighted bandwidth sharing: backlogged
+flows receive capacity in proportion to their weights, and capacity unused
+by demand-limited flows is redistributed (water-filling). Used in tests to
+cross-check :class:`repro.net.fluid.FluidAllocator` on one link, and by the
+priority-queue mechanism to model per-queue WFQ fallback when priorities
+are exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from ..errors import ConfigError
+
+
+class WeightedFairScheduler:
+    """Weighted max-min sharing of one port among demand-limited flows."""
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+
+    def service_rates(
+        self,
+        demands: Mapping[str, Tuple[float, float]],
+    ) -> Dict[str, float]:
+        """Split capacity by weighted water-filling.
+
+        Args:
+            demands: ``{flow_id: (weight, demanded rate)}``; weights must be
+                positive, demands non-negative. A flow never receives more
+                than its demand.
+
+        Returns:
+            ``{flow_id: service rate}`` summing to at most capacity.
+        """
+        for flow_id, (weight, demand) in demands.items():
+            if weight <= 0:
+                raise ConfigError(f"flow {flow_id}: weight must be > 0")
+            if demand < 0:
+                raise ConfigError(f"flow {flow_id}: demand must be >= 0")
+
+        rates = {flow_id: 0.0 for flow_id in demands}
+        unfrozen = {
+            flow_id for flow_id, (_, demand) in demands.items() if demand > 0
+        }
+        residual = self.capacity
+        while unfrozen and residual > 0:
+            total_weight = sum(demands[f][0] for f in unfrozen)
+            # Largest uniform fill level before a flow hits its demand.
+            theta = residual / total_weight
+            capped = min(
+                unfrozen,
+                key=lambda f: (demands[f][1] - rates[f]) / demands[f][0],
+            )
+            theta_cap = (demands[capped][1] - rates[capped]) / demands[capped][0]
+            step = min(theta, theta_cap)
+            for flow_id in unfrozen:
+                rates[flow_id] += demands[flow_id][0] * step
+            residual -= total_weight * step
+            if step == theta_cap and theta_cap <= theta:
+                unfrozen.discard(capped)
+            if step == theta and theta <= theta_cap:
+                break
+        # Clamp away float residue (matters for denormal demands).
+        return {
+            flow_id: min(rate, demands[flow_id][1])
+            for flow_id, rate in rates.items()
+        }

@@ -1,0 +1,127 @@
+"""Unit conventions and conversion helpers.
+
+The library uses a small, consistent set of base units:
+
+* **time** — seconds (``float``) inside the simulators; the geometric
+  abstraction quantizes to integer *ticks* (microseconds by default) so that
+  least-common-multiple arithmetic is exact (see :mod:`repro.core`).
+* **data** — bytes (``float`` in the fluid models, since fluid flows are
+  infinitely divisible).
+* **rate** — bytes per second.
+
+Helpers convert from human-friendly units (milliseconds, gigabits per
+second) at API boundaries. Keeping conversions in one module avoids the
+classic factor-of-8 and factor-of-1000 bugs in networking code.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+
+#: Number of geometry ticks per second (tick = 1 microsecond).
+TICKS_PER_SECOND = 1_000_000
+
+#: Bits per byte, named to keep the factor of 8 visible at call sites.
+BITS_PER_BYTE = 8
+
+
+# --------------------------------------------------------------------------
+# Time conversions (to seconds)
+# --------------------------------------------------------------------------
+
+def seconds(value: float) -> float:
+    """Identity helper; documents that ``value`` is already in seconds."""
+    return float(value)
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+# Short aliases used heavily in experiment configuration.
+ms = milliseconds
+us = microseconds
+
+
+def to_milliseconds(time_s: float) -> float:
+    """Convert seconds to milliseconds (for reporting)."""
+    return time_s * 1e3
+
+
+def to_microseconds(time_s: float) -> float:
+    """Convert seconds to microseconds (for reporting)."""
+    return time_s * 1e6
+
+
+# --------------------------------------------------------------------------
+# Geometry tick quantization
+# --------------------------------------------------------------------------
+
+def seconds_to_ticks(time_s: float) -> int:
+    """Quantize a duration in seconds to integer geometry ticks.
+
+    Rounds to the nearest tick. Raises :class:`ConfigError` for negative
+    durations because arcs and perimeters must be non-negative.
+    """
+    if time_s < 0:
+        raise ConfigError(f"duration must be non-negative, got {time_s}")
+    return round(time_s * TICKS_PER_SECOND)
+
+
+def ticks_to_seconds(ticks: int) -> float:
+    """Convert integer geometry ticks back to seconds."""
+    return ticks / TICKS_PER_SECOND
+
+
+# --------------------------------------------------------------------------
+# Rate conversions (to bytes/second)
+# --------------------------------------------------------------------------
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bytes per second."""
+    return float(value) * 1e9 / BITS_PER_BYTE
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return float(value) * 1e6 / BITS_PER_BYTE
+
+
+def to_gbps(rate_bytes_per_s: float) -> float:
+    """Convert bytes per second to gigabits per second (for reporting)."""
+    return rate_bytes_per_s * BITS_PER_BYTE / 1e9
+
+
+# --------------------------------------------------------------------------
+# Data-size conversions (to bytes)
+# --------------------------------------------------------------------------
+
+def kib(value: float) -> float:
+    """Convert kibibytes to bytes."""
+    return float(value) * 1024
+
+
+def mib(value: float) -> float:
+    """Convert mebibytes to bytes."""
+    return float(value) * 1024 ** 2
+
+
+def gib(value: float) -> float:
+    """Convert gibibytes to bytes."""
+    return float(value) * 1024 ** 3
+
+
+def megabytes(value: float) -> float:
+    """Convert decimal megabytes (1e6 bytes) to bytes."""
+    return float(value) * 1e6
+
+
+def to_megabytes(size_bytes: float) -> float:
+    """Convert bytes to decimal megabytes (for reporting)."""
+    return size_bytes / 1e6

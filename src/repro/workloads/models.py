@@ -1,0 +1,84 @@
+"""The DNN model zoo.
+
+Parameter counts are the published architecture sizes; per-sample compute
+coefficients are synthetic but ordered consistently with the models'
+published FLOP counts. They are used to *derive* plausible job profiles
+when the paper does not pin a number; whenever the paper reports a concrete
+time (Figure 3's VGG16, Table 1's rows) the calibrated values in
+:mod:`repro.workloads.profiles` take precedence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import WorkloadError
+
+#: Bytes per parameter for FP32 gradients exchanged during allreduce.
+BYTES_PER_PARAM = 4
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of a DNN architecture.
+
+    Attributes:
+        name: Canonical model name.
+        params_millions: Trainable parameters, in millions.
+        gflops_per_sample: Forward+backward GFLOPs per training sample
+            (published estimates; drives synthetic compute scaling).
+        compute_ms_per_sample: Synthetic per-sample compute-phase
+            milliseconds on the reference accelerator (forward pass only,
+            since the paper folds backprop into the communication phase).
+    """
+
+    name: str
+    params_millions: float
+    gflops_per_sample: float
+    compute_ms_per_sample: float
+
+    @property
+    def gradient_bytes(self) -> float:
+        """Size of one full gradient exchange, bytes (FP32)."""
+        return self.params_millions * 1e6 * BYTES_PER_PARAM
+
+    def compute_time(self, batch_size: int) -> float:
+        """Synthetic compute-phase duration for ``batch_size``, seconds."""
+        if batch_size < 1:
+            raise WorkloadError(f"batch size must be >= 1, got {batch_size}")
+        return self.compute_ms_per_sample * batch_size * 1e-3
+
+
+#: Published parameter counts; compute coefficients chosen so that the
+#: derived iteration times land in the ranges the paper reports.
+MODEL_ZOO: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        ModelSpec("vgg16", params_millions=138.4, gflops_per_sample=15.5,
+                  compute_ms_per_sample=0.088),
+        ModelSpec("vgg19", params_millions=143.7, gflops_per_sample=19.7,
+                  compute_ms_per_sample=0.088),
+        ModelSpec("resnet50", params_millions=25.6, gflops_per_sample=4.1,
+                  compute_ms_per_sample=0.098),
+        ModelSpec("wideresnet", params_millions=68.9, gflops_per_sample=11.4,
+                  compute_ms_per_sample=0.314),
+        ModelSpec("bert", params_millions=340.0, gflops_per_sample=97.0,
+                  compute_ms_per_sample=11.9),
+        ModelSpec("dlrm", params_millions=540.0, gflops_per_sample=0.6,
+                  compute_ms_per_sample=0.35),
+    )
+}
+
+
+def model(name: str) -> ModelSpec:
+    """Look up a model in the zoo by (case-insensitive) name.
+
+    Raises:
+        WorkloadError: if the model is unknown.
+    """
+    key = name.strip().lower()
+    if key not in MODEL_ZOO:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise WorkloadError(f"unknown model {name!r}; known: {known}")
+    return MODEL_ZOO[key]

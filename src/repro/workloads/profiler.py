@@ -1,0 +1,144 @@
+"""Profiling jobs from raw traffic traces.
+
+§4's placement workflow starts with measurement: "the ML scheduler should
+first profile each ML training job in isolation to measure its iteration
+time, communication pattern, and bandwidth demand". This module closes
+that loop for the simulator: given a raw rate trace (a
+:class:`~repro.sim.trace.StepFunction`, e.g. recorded by the phase-level
+simulator or synthesized by :func:`~repro.workloads.traces.demand_trace`),
+it detects the on-off pattern, estimates the iteration period, and
+reconstructs the job's :class:`~repro.core.circle.JobCircle` — without
+ever looking at the ground-truth spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.trace import StepFunction
+
+#: A phase must persist at least this long to count (filters glitches).
+MIN_PHASE_SECONDS = 1e-4
+
+
+@dataclass(frozen=True)
+class ProfiledJob:
+    """What profiling one solo job recovers.
+
+    Attributes:
+        iteration_time: Estimated period, seconds.
+        comm_time: Communication (on) duration per iteration, seconds.
+        compute_time: Compute (off) duration per iteration, seconds.
+        bandwidth_demand: Mean rate while communicating, bytes/s.
+        n_iterations_observed: Full on-off cycles in the trace.
+    """
+
+    iteration_time: float
+    comm_time: float
+    compute_time: float
+    bandwidth_demand: float
+    n_iterations_observed: int
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of the iteration spent communicating."""
+        return self.comm_time / self.iteration_time
+
+    def circle_ticks(self, ticks_per_second: int = 1000) -> Tuple[int, int]:
+        """Quantized ``(compute_ticks, comm_ticks)`` for circle building."""
+        compute = round(self.compute_time * ticks_per_second)
+        comm = max(1, round(self.comm_time * ticks_per_second))
+        return compute, comm
+
+
+def on_off_phases(
+    trace: StepFunction,
+    start: float,
+    end: float,
+    threshold_fraction: float = 0.05,
+) -> List[Tuple[float, float, bool]]:
+    """Segment a rate trace into ``(start, end, on?)`` phases.
+
+    A phase is *on* when the rate exceeds ``threshold_fraction`` of the
+    trace's peak rate. Consecutive same-state segments merge; segments
+    shorter than :data:`MIN_PHASE_SECONDS` are folded into their
+    neighbours (measurement glitches).
+    """
+    if end <= start:
+        raise WorkloadError(f"bad window [{start}, {end}]")
+    breakpoints = [t for t, _ in trace.breakpoints() if start < t < end]
+    edges = [start] + breakpoints + [end]
+    peak = max(
+        (trace.value_at(t) for t in edges[:-1]), default=0.0
+    )
+    if peak <= 0:
+        return [(start, end, False)]
+    threshold = peak * threshold_fraction
+    raw: List[Tuple[float, float, bool]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        if hi <= lo:
+            continue
+        state = trace.value_at(lo) > threshold
+        if raw and raw[-1][2] == state:
+            raw[-1] = (raw[-1][0], hi, state)
+        else:
+            raw.append((lo, hi, state))
+    # Fold glitch-length phases into the previous one.
+    phases: List[Tuple[float, float, bool]] = []
+    for segment in raw:
+        if phases and (segment[1] - segment[0]) < MIN_PHASE_SECONDS:
+            phases[-1] = (phases[-1][0], segment[1], phases[-1][2])
+        elif phases and phases[-1][2] == segment[2]:
+            phases[-1] = (phases[-1][0], segment[1], segment[2])
+        else:
+            phases.append(segment)
+    return phases
+
+
+def profile_trace(
+    trace: StepFunction,
+    start: float,
+    end: float,
+    threshold_fraction: float = 0.05,
+) -> ProfiledJob:
+    """Recover a job's on-off profile from its solo rate trace.
+
+    The period is estimated from on-phase start-to-start gaps (median,
+    which is robust to a truncated first or last cycle); communication
+    and compute durations are medians over full cycles; bandwidth demand
+    is the byte integral over on-time.
+
+    Raises:
+        WorkloadError: if fewer than two full cycles are observable.
+    """
+    phases = on_off_phases(trace, start, end, threshold_fraction)
+    on_phases = [(lo, hi) for lo, hi, state in phases if state]
+    if len(on_phases) < 3:
+        raise WorkloadError(
+            "need at least three communication phases to profile"
+        )
+    # Drop the possibly truncated first and last cycles.
+    starts = np.asarray([lo for lo, _ in on_phases])
+    periods = np.diff(starts)
+    comm_durations = np.asarray(
+        [hi - lo for lo, hi in on_phases[1:-1]]
+    )
+    iteration_time = float(np.median(periods))
+    comm_time = float(np.median(comm_durations))
+    if comm_time <= 0 or iteration_time <= comm_time:
+        raise WorkloadError("trace is not a periodic on-off pattern")
+    on_bytes = sum(
+        trace.integrate(lo, hi) for lo, hi in on_phases[1:-1]
+    )
+    on_seconds = float(comm_durations.sum())
+    return ProfiledJob(
+        iteration_time=iteration_time,
+        comm_time=comm_time,
+        compute_time=iteration_time - comm_time,
+        bandwidth_demand=on_bytes / on_seconds if on_seconds > 0 else 0.0,
+        n_iterations_observed=len(on_phases) - 2,
+    )

@@ -1,0 +1,241 @@
+"""Profiles calibrated to the paper's reported numbers.
+
+The paper measured its workloads on an A100/ConnectX-5 testbed we do not
+have, so each profile here is a *calibrated synthetic equivalent*: the
+compute-phase duration and communication-phase bytes are chosen so the
+job's **solo** iteration time and comm/compute split are consistent with
+the numbers the paper reports. The fair/unfair outcomes are then *produced
+by the simulator*, never hard-coded.
+
+Calibration sources:
+
+* **Figure 3a** pins VGG16 exactly: 255 ms iteration, first 141 ms pure
+  compute.
+* **Figure 2** pins the VGG19 pair: compute ≈ 100 ms (second communication
+  phase starts 100 ms after the first iteration ends), and the first-
+  iteration endpoints (J1 at 0.28 s, J2 at 0.32 s under a ~2:1 split)
+  imply a ≈110 ms solo communication phase.
+* **Table 1** pins each row's *unfair* iteration time, which for compatible
+  groups equals the solo time (that is the paper's point), and the
+  fair-vs-unfair gap, which bounds the communication-phase length
+  (for two identical overlapped jobs, fair ≈ compute + 2×comm).
+
+The paper reports bandwidth on the shared 50 Gbps link saturating around
+21+21 Gbps (fair) to 30+15 Gbps (unfair), so the *effective* bottleneck
+goodput is ≈42-45 Gbps; :data:`EFFECTIVE_BOTTLENECK` uses 42 Gbps and all
+byte counts are expressed against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import WorkloadError
+from ..units import gbps, ms
+from .job import JobSpec
+
+#: Effective goodput of the paper's 50 Gbps bottleneck link (see module doc).
+EFFECTIVE_BOTTLENECK = gbps(42)
+
+
+def _spec(
+    job_id: str,
+    model_name: str,
+    batch_size: int,
+    compute_ms: float,
+    comm_ms: float,
+    jitter: float = 0.0,
+) -> JobSpec:
+    """Build a JobSpec from (compute ms, solo comm ms at full bottleneck)."""
+    return JobSpec(
+        job_id=job_id,
+        model_name=model_name,
+        batch_size=batch_size,
+        compute_time=ms(compute_ms),
+        comm_bytes=ms(comm_ms) * EFFECTIVE_BOTTLENECK,
+        compute_jitter=jitter,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 / Figure 1 workload: two VGG19 jobs on the dumbbell bottleneck
+# ---------------------------------------------------------------------------
+
+def figure2_vgg19_pair(jitter: float = 0.0) -> Tuple[JobSpec, JobSpec]:
+    """The two VGG19 jobs of Figures 1 and 2.
+
+    Compute 100 ms, solo communication 110 ms (see module docstring for the
+    derivation from the Figure 2 time anchors). Both jobs start together,
+    as the paper assumes for the Figure 2 presentation.
+    """
+    j1 = _spec("J1", "vgg19", 1024, compute_ms=100, comm_ms=110, jitter=jitter)
+    j2 = _spec("J2", "vgg19", 1024, compute_ms=100, comm_ms=110, jitter=jitter)
+    return j1, j2
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 workload: VGG16, iteration 255 ms with 141 ms of pure compute
+# ---------------------------------------------------------------------------
+
+def figure3_vgg16() -> JobSpec:
+    """The VGG16 job of Figure 3 (255 ms iteration, 141 ms compute)."""
+    return _spec("vgg16-fig3", "vgg16", 1100, compute_ms=141, comm_ms=114)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: five groups of jobs competing on one bottleneck
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One row of Table 1: a job plus the paper's reported outcomes."""
+
+    spec: JobSpec
+    paper_fair_ms: float
+    paper_unfair_ms: float
+    paper_speedup: float
+
+
+@dataclass(frozen=True)
+class Table1Group:
+    """A group of jobs sharing the bottleneck, with the paper's verdict."""
+
+    name: str
+    entries: Tuple[Table1Entry, ...]
+    paper_compatible: bool
+
+    @property
+    def specs(self) -> List[JobSpec]:
+        """The job specs in aggressiveness order (first = most aggressive)."""
+        return [entry.spec for entry in self.entries]
+
+
+def table1_groups(jitter: float = 0.0) -> List[Table1Group]:
+    """The five Table 1 groups with calibrated profiles.
+
+    Per-row calibration (ms, at the 42 Gbps effective bottleneck):
+
+    * *BERT(8)*: solo 150 = 95 compute + 55 comm. Short iterations and a
+      mid-sized comm arc; its 95 ms compute gap is smaller than VGG19's
+      145 ms comm arc, which is what makes group 1 incompatible.
+    * *VGG19(1200)*: solo 250 = 105 + 145 (comm-heavy, fraction 0.58).
+    * *DLRM(2000)*: solo 1001 = 701 + 300; the paper's fair time 1301 =
+      701 + 2x300 confirms the fully-overlapped fair schedule.
+    * *VGG19(1400) (group 3)*: compute scaled from the group-1 profile by
+      batch (105 x 1400/1200 ~ 122), same gradient so same 145 ms comm.
+    * *WideResNet(800)*: solo 273 = 251 + 22 (comm-light).
+    * *group 4* uses equal 274 ms periods (251+23 / 254+20): the paper's
+      295/294 fair vs 273/274 unfair times are consistent with equal
+      periods and small arcs, which is exactly the fully-compatible case.
+    * *group 5* uses periods 330/330/165 (the ResNet50 period is half the
+      VGG periods, so the unified circle is only 330 ms) with comm arcs
+      50/50/8 — compatible with room to spare, matching the paper's green
+      verdict and its 1.18x/1.18x/1.01x speedups.
+    """
+    groups: List[Table1Group] = []
+
+    groups.append(Table1Group(
+        name="group1",
+        paper_compatible=False,
+        entries=(
+            Table1Entry(
+                _spec("bert-g1", "bert", 8, 95, 55, jitter),
+                paper_fair_ms=183, paper_unfair_ms=157, paper_speedup=1.17,
+            ),
+            Table1Entry(
+                _spec("vgg19-g1", "vgg19", 1200, 105, 145, jitter),
+                paper_fair_ms=297, paper_unfair_ms=315, paper_speedup=0.94,
+            ),
+        ),
+    ))
+
+    groups.append(Table1Group(
+        name="group2",
+        paper_compatible=True,
+        entries=(
+            Table1Entry(
+                _spec("dlrm-a-g2", "dlrm", 2000, 701, 300, jitter),
+                paper_fair_ms=1301, paper_unfair_ms=1001, paper_speedup=1.3,
+            ),
+            Table1Entry(
+                _spec("dlrm-b-g2", "dlrm", 2000, 701, 300, jitter),
+                paper_fair_ms=1300, paper_unfair_ms=1019, paper_speedup=1.28,
+            ),
+        ),
+    ))
+
+    groups.append(Table1Group(
+        name="group3",
+        paper_compatible=False,
+        entries=(
+            Table1Entry(
+                _spec("bert-g3", "bert", 8, 95, 55, jitter),
+                paper_fair_ms=320, paper_unfair_ms=216, paper_speedup=1.48,
+            ),
+            Table1Entry(
+                _spec("vgg19-g3", "vgg19", 1400, 122, 145, jitter),
+                paper_fair_ms=494, paper_unfair_ms=466, paper_speedup=1.06,
+            ),
+            Table1Entry(
+                _spec("wrn-g3", "wideresnet", 800, 251, 22, jitter),
+                paper_fair_ms=466, paper_unfair_ms=505, paper_speedup=0.92,
+            ),
+        ),
+    ))
+
+    groups.append(Table1Group(
+        name="group4",
+        paper_compatible=True,
+        entries=(
+            Table1Entry(
+                _spec("wrn-g4", "wideresnet", 800, 251, 23, jitter),
+                paper_fair_ms=295, paper_unfair_ms=273, paper_speedup=1.08,
+            ),
+            Table1Entry(
+                _spec("vgg16-g4", "vgg16", 1400, 254, 20, jitter),
+                paper_fair_ms=294, paper_unfair_ms=274, paper_speedup=1.07,
+            ),
+        ),
+    ))
+
+    groups.append(Table1Group(
+        name="group5",
+        paper_compatible=True,
+        entries=(
+            Table1Entry(
+                _spec("vgg19-g5", "vgg19", 1400, 280, 50, jitter),
+                paper_fair_ms=389, paper_unfair_ms=329, paper_speedup=1.18,
+            ),
+            Table1Entry(
+                _spec("vgg16-g5", "vgg16", 1700, 280, 50, jitter),
+                paper_fair_ms=389, paper_unfair_ms=329, paper_speedup=1.18,
+            ),
+            Table1Entry(
+                _spec("resnet50-g5", "resnet50", 1600, 157, 8, jitter),
+                paper_fair_ms=167, paper_unfair_ms=165, paper_speedup=1.01,
+            ),
+        ),
+    ))
+
+    return groups
+
+
+def paper_profile(name: str, jitter: float = 0.0) -> JobSpec:
+    """Look up a calibrated profile by its job id (e.g. ``"dlrm-a-g2"``).
+
+    Also accepts ``"vgg19-fig2"`` / ``"vgg16-fig3"`` for the figure
+    workloads.
+
+    Raises:
+        WorkloadError: for an unknown profile name.
+    """
+    if name == "vgg19-fig2":
+        return figure2_vgg19_pair(jitter)[0]
+    if name == "vgg16-fig3":
+        return figure3_vgg16()
+    for group in table1_groups(jitter):
+        for entry in group.entries:
+            if entry.spec.job_id == name:
+                return entry.spec
+    raise WorkloadError(f"unknown paper profile {name!r}")

@@ -1,0 +1,41 @@
+"""On-off network demand traces.
+
+Figure 3a of the paper shows a job's time-series network demand — the
+periodic on-off square wave that the geometric abstraction rolls around a
+circle. :func:`demand_trace` produces that signal for a
+:class:`~repro.workloads.job.JobSpec` running solo, as a
+:class:`~repro.sim.trace.StepFunction` of demanded rate.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..sim.trace import StepFunction
+from .job import JobSpec
+
+
+def demand_trace(
+    spec: JobSpec,
+    capacity: float,
+    n_iterations: int,
+    start_time: float = 0.0,
+) -> StepFunction:
+    """Network demand of ``spec`` running solo at ``capacity``.
+
+    The trace is 0 during compute phases and ``capacity`` during
+    communication phases, for ``n_iterations`` back-to-back iterations
+    beginning at ``start_time``.
+    """
+    if n_iterations < 1:
+        raise WorkloadError(f"n_iterations must be >= 1, got {n_iterations}")
+    if capacity <= 0:
+        raise WorkloadError(f"capacity must be > 0, got {capacity}")
+    comm_time = spec.solo_comm_time(capacity)
+    trace = StepFunction(initial=0.0, name=f"{spec.job_id}-demand")
+    cursor = start_time
+    for _ in range(n_iterations):
+        comm_start = cursor + spec.compute_time
+        trace.set(comm_start, capacity)
+        trace.set(comm_start + comm_time, 0.0)
+        cursor = comm_start + comm_time
+    return trace

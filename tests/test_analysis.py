@@ -1,0 +1,160 @@
+"""Analysis-helper tests: stats, CDFs, time-series sampling, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, median_of
+from repro.analysis.report import (
+    ascii_cdf,
+    ascii_sparkline,
+    ascii_table,
+    ascii_timeline,
+    format_ms,
+)
+from repro.analysis.stats import IterationStats, speedup, summarize
+from repro.analysis.timeseries import sample_step, smooth, utilization_series
+from repro.errors import SimulationError
+from repro.sim.trace import StepFunction
+
+
+class TestStats:
+    def test_summarize_basics(self):
+        stats = summarize([0.1, 0.2, 0.3])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.median == pytest.approx(0.2)
+        assert stats.minimum == 0.1
+        assert stats.maximum == 0.3
+
+    def test_skip_warmup(self):
+        stats = summarize([10.0, 0.1, 0.1], skip=1)
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(0.1)
+
+    def test_ms_properties(self):
+        stats = summarize([0.297])
+        assert stats.mean_ms == pytest.approx(297)
+        assert stats.median_ms == pytest.approx(297)
+
+    def test_percentiles_ordered(self):
+        stats = summarize(np.linspace(0.1, 0.5, 100))
+        assert stats.p5 < stats.median < stats.p95
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([])
+        with pytest.raises(SimulationError):
+            summarize([1.0], skip=5)
+
+    def test_speedup(self):
+        assert speedup(1.3, 1.0) == pytest.approx(1.3)
+        assert speedup(0.94, 1.0) == pytest.approx(0.94)
+
+    def test_speedup_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            speedup(1.0, 0.0)
+
+
+class TestCdf:
+    def test_empirical_cdf_shape(self):
+        values, probs = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(values, [1, 2, 3])
+        np.testing.assert_allclose(probs, [1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+        assert cdf_at([1, 2, 3, 4], 0.0) == 0.0
+        assert cdf_at([1, 2, 3, 4], 4.0) == 1.0
+
+    def test_median(self):
+        assert median_of([1.0, 3.0, 2.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            empirical_cdf([])
+        with pytest.raises(SimulationError):
+            cdf_at([], 1.0)
+        with pytest.raises(SimulationError):
+            median_of([])
+
+
+class TestTimeseries:
+    def _square_wave(self):
+        step = StepFunction(0.0)
+        step.set(1.0, 10.0)
+        step.set(2.0, 0.0)
+        return step
+
+    def test_sample_is_window_average(self):
+        times, values = sample_step(self._square_wave(), 0.0, 3.0, 3)
+        np.testing.assert_allclose(values, [0.0, 10.0, 0.0])
+        np.testing.assert_allclose(times, [0.5, 1.5, 2.5])
+
+    def test_narrow_phase_never_missed(self):
+        step = StepFunction(0.0)
+        step.set(1.0, 100.0)
+        step.set(1.001, 0.0)  # 1 ms blip
+        __, values = sample_step(step, 0.0, 2.0, 4)
+        assert values.sum() > 0  # window averaging catches the blip
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_step(self._square_wave(), 2.0, 1.0)
+
+    def test_smooth_preserves_length_and_mean(self):
+        data = np.asarray([0.0, 0, 10, 10, 0, 0])
+        out = smooth(data, window=3)
+        assert out.size == data.size
+        assert out.mean() == pytest.approx(data.mean(), rel=0.2)
+
+    def test_smooth_window_one_is_identity(self):
+        data = np.asarray([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(smooth(data, 1), data)
+
+    def test_utilization_bounded(self):
+        times, util = utilization_series(
+            self._square_wave(), capacity=10.0, start=0.0, end=3.0
+        )
+        assert util.min() >= 0
+        assert util.max() <= 1.0 + 1e-9
+
+    def test_utilization_bad_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            utilization_series(self._square_wave(), 0.0, 0.0, 1.0)
+
+
+class TestReport:
+    def test_format_ms(self):
+        assert format_ms(0.297) == "297.0 ms"
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(
+            ["name", "value"], [("a", 1), ("long-name", 22)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_ascii_sparkline_scales(self):
+        spark = ascii_sparkline([0.0, 0.5, 1.0])
+        assert len(spark) == 3
+        assert spark[0] == " "
+        assert spark[-1] == "█"
+
+    def test_ascii_sparkline_empty(self):
+        assert ascii_sparkline([]) == ""
+
+    def test_ascii_timeline_resamples(self):
+        line = ascii_timeline(
+            np.linspace(0, 1, 500), np.linspace(0, 1, 500),
+            label="u", width=40,
+        )
+        assert "u" in line
+        assert "|" in line
+
+    def test_ascii_cdf_quantiles(self):
+        line = ascii_cdf([0.1] * 10, label="x")
+        assert "p50=100.0ms" in line
+
+    def test_ascii_cdf_empty(self):
+        assert "(no data)" in ascii_cdf([], label="x")

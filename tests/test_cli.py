@@ -1,0 +1,46 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "figure3"])
+        assert args.command == "run"
+        assert args.artifact == "figure3"
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_cheap_artifact(self, capsys):
+        assert main(["run", "figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "255 ms" in out
+
+    def test_run_figure5(self, capsys):
+        assert main(["run", "figure5"]) == 0
+        assert "LCM" in capsys.readouterr().out
+
+    def test_every_artifact_registered_with_description(self):
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)

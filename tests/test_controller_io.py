@@ -1,0 +1,225 @@
+"""Tests for the congestion-free controller, JSON serialization, and
+bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import (
+    bootstrap_median,
+    bootstrap_median_ratio,
+)
+from repro.cc.adaptive import AdaptiveUnfair
+from repro.cc.priority import PrioritySharing
+from repro.core.circle import JobCircle
+from repro.core.compatibility import CompatibilityChecker
+from repro.errors import ConfigError, SimulationError
+from repro.io import (
+    circle_from_dict,
+    circle_to_dict,
+    job_spec_from_dict,
+    job_spec_to_dict,
+    load_workload,
+    result_from_dict,
+    result_to_dict,
+    save_workload,
+)
+from repro.mechanisms.controller import (
+    CongestionFreeController,
+    Mechanism,
+)
+from repro.net.topology import Topology
+from repro.scheduler.cluster import ClusterState
+from repro.scheduler.simulation import ClusterSimulation
+from repro.units import gbps, ms
+from repro.workloads.job import JobSpec
+
+CAP = gbps(42)
+
+
+def _cluster_with(specs_and_hosts):
+    topo = Topology.leaf_spine(
+        n_racks=4, hosts_per_rack=2, n_spines=1,
+        host_capacity=CAP, uplink_capacity=CAP,
+    )
+    cluster = ClusterState(topo, gpus_per_host=4)
+    for spec, hosts in specs_and_hosts:
+        cluster.place(spec, hosts)
+    return cluster
+
+
+def _compatible_pair():
+    a = JobSpec("a", ms(210), ms(90) * CAP, n_workers=2)
+    b = JobSpec("b", ms(210), ms(90) * CAP, n_workers=2)
+    return [
+        (a, ["h0_0", "h1_0"]),
+        (b, ["h0_1", "h1_1"]),
+    ]
+
+
+def _incompatible_pair():
+    a = JobSpec("a", ms(100), ms(110) * CAP, n_workers=2)
+    b = JobSpec("b", ms(100), ms(110) * CAP, n_workers=2)
+    return [
+        (a, ["h0_0", "h1_0"]),
+        (b, ["h0_1", "h1_1"]),
+    ]
+
+
+class TestController:
+    def test_flow_scheduling_plan_for_compatible_cluster(self):
+        cluster = _cluster_with(_compatible_pair())
+        plan = CongestionFreeController(
+            checker=CompatibilityChecker(capacity=CAP)
+        ).plan(cluster, mechanism=Mechanism.FLOW_SCHEDULING)
+        assert plan.mechanism is Mechanism.FLOW_SCHEDULING
+        assert plan.fully_congestion_free
+        assert set(plan.gates) == {"a", "b"}
+        assert plan.rotations
+
+    def test_plan_runs_at_solo_speed(self):
+        cluster = _cluster_with(_compatible_pair())
+        controller = CongestionFreeController(
+            checker=CompatibilityChecker(capacity=CAP)
+        )
+        plan = controller.plan(cluster)
+        report = ClusterSimulation(
+            cluster, reference_capacity=CAP
+        ).run(plan.policy, n_iterations=40, gates=plan.gates, stagger=0.0)
+        assert report.mean_slowdown == pytest.approx(1.0, abs=0.02)
+
+    def test_incompatible_cluster_falls_back_to_adaptive(self):
+        cluster = _cluster_with(_incompatible_pair())
+        plan = CongestionFreeController(
+            checker=CompatibilityChecker(capacity=CAP)
+        ).plan(cluster)
+        assert plan.mechanism is Mechanism.ADAPTIVE
+        assert isinstance(plan.policy, AdaptiveUnfair)
+        assert not plan.fully_congestion_free
+        assert plan.gates == {}
+
+    def test_priorities_mechanism(self):
+        cluster = _cluster_with(_compatible_pair())
+        plan = CongestionFreeController(
+            checker=CompatibilityChecker(capacity=CAP)
+        ).plan(cluster, mechanism=Mechanism.PRIORITIES)
+        assert plan.mechanism is Mechanism.PRIORITIES
+        assert isinstance(plan.policy, PrioritySharing)
+
+    def test_weighted_mechanism(self):
+        cluster = _cluster_with(_compatible_pair())
+        plan = CongestionFreeController(
+            checker=CompatibilityChecker(capacity=CAP)
+        ).plan(cluster, mechanism=Mechanism.WEIGHTED)
+        assert plan.mechanism is Mechanism.WEIGHTED
+
+    def test_uncontended_cluster_gets_adaptive_default(self):
+        a = JobSpec("a", ms(210), ms(90) * CAP, n_workers=2)
+        cluster = _cluster_with([(a, ["h0_0", "h1_0"])])
+        plan = CongestionFreeController(
+            checker=CompatibilityChecker(capacity=CAP)
+        ).plan(cluster)
+        assert plan.compatible_links == []
+        assert plan.incompatible_links == []
+
+    def test_per_link_mode_downgrades_flow_scheduling(self):
+        cluster = _cluster_with(_compatible_pair())
+        plan = CongestionFreeController(
+            checker=CompatibilityChecker(capacity=CAP)
+        ).plan(
+            cluster,
+            mechanism=Mechanism.FLOW_SCHEDULING,
+            cluster_level=False,
+        )
+        # Without the global rotation solve, gates cannot be trusted.
+        assert plan.mechanism is Mechanism.PRIORITIES
+
+
+class TestIo:
+    def test_job_spec_roundtrip(self):
+        spec = JobSpec(
+            "j", ms(100), ms(50) * CAP, model_name="vgg19",
+            batch_size=1200, compute_jitter=0.02, n_workers=8,
+        )
+        assert job_spec_from_dict(job_spec_to_dict(spec)) == spec
+
+    def test_multi_phase_spec_roundtrip(self):
+        spec = JobSpec.multi_phase(
+            "mp", [(ms(50), ms(20) * CAP), (ms(30), ms(15) * CAP)]
+        )
+        restored = job_spec_from_dict(job_spec_to_dict(spec))
+        assert restored.segments == spec.segments
+
+    def test_circle_roundtrip(self):
+        circle = JobCircle.from_arcs(
+            "c", 255, [(141, 100), (245, 10)], demand=0.7
+        )
+        restored = circle_from_dict(circle_to_dict(circle))
+        assert restored.comm == circle.comm
+        assert restored.demand == circle.demand
+
+    def test_result_roundtrip(self):
+        checker = CompatibilityChecker(capacity=CAP)
+        result = checker.check([
+            JobSpec("a", ms(210), ms(90) * CAP),
+            JobSpec("b", ms(210), ms(90) * CAP),
+        ])
+        restored = result_from_dict(result_to_dict(result))
+        assert restored == result
+
+    def test_workload_file_roundtrip(self, tmp_path):
+        specs = [
+            JobSpec("a", ms(100), ms(50) * CAP),
+            JobSpec.multi_phase("b", [(ms(10), 1e6), (ms(20), 2e6)]),
+        ]
+        path = tmp_path / "workload.json"
+        save_workload(specs, path)
+        assert load_workload(path) == specs
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConfigError):
+            job_spec_from_dict({"version": 1})
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ConfigError):
+            job_spec_from_dict({"version": 99, "job_id": "x"})
+
+    def test_workload_file_without_jobs_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1}')
+        with pytest.raises(ConfigError):
+            load_workload(path)
+
+
+class TestBootstrap:
+    def test_median_ci_brackets_truth(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0.30, 0.01, size=300)
+        ci = bootstrap_median(samples, seed=2)
+        assert ci.contains(0.30)
+        assert ci.low < ci.estimate < ci.high
+
+    def test_tight_data_tight_interval(self):
+        ci = bootstrap_median([1.0] * 50, seed=0)
+        assert ci.low == ci.high == ci.estimate == 1.0
+
+    def test_ratio_ci(self):
+        rng = np.random.default_rng(3)
+        fair = rng.normal(0.32, 0.01, size=200)
+        unfair = rng.normal(0.26, 0.01, size=200)
+        ci = bootstrap_median_ratio(fair, unfair, seed=4)
+        assert ci.contains(0.32 / 0.26)
+        assert 1.1 < ci.estimate < 1.4
+
+    def test_str_format(self):
+        ci = bootstrap_median([1.0, 2.0, 3.0], seed=0)
+        assert "@95%" in str(ci)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            bootstrap_median([])
+        with pytest.raises(SimulationError):
+            bootstrap_median([1.0], n_resamples=5)
+        with pytest.raises(SimulationError):
+            bootstrap_median([1.0], confidence=0.4)
+        with pytest.raises(SimulationError):
+            bootstrap_median_ratio([1.0], [0.0])

@@ -1,0 +1,251 @@
+"""Arc-algebra tests: normalization, set ops, rotation, tiling, coverage."""
+
+import pytest
+
+from repro.core.arcs import Arc, ArcSet
+from repro.errors import GeometryError
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = ArcSet(100)
+        assert s.is_empty
+        assert s.measure == 0
+
+    def test_simple_arc(self):
+        s = ArcSet(100, [(10, 20)])
+        assert s.intervals == ((10, 30),)
+        assert s.measure == 20
+
+    def test_wrapping_arc_splits(self):
+        s = ArcSet(100, [(90, 20)])
+        assert s.intervals == ((0, 10), (90, 100))
+        assert s.measure == 20
+
+    def test_start_reduced_mod_perimeter(self):
+        assert ArcSet(100, [(110, 20)]) == ArcSet(100, [(10, 20)])
+
+    def test_negative_start(self):
+        assert ArcSet(100, [(-10, 20)]) == ArcSet(100, [(90, 20)])
+
+    def test_full_circle(self):
+        s = ArcSet(100, [(30, 100)])
+        assert s.is_full
+        assert s.intervals == ((0, 100),)
+
+    def test_overfull_clamps(self):
+        assert ArcSet(100, [(0, 250)]).is_full
+
+    def test_zero_length_ignored(self):
+        assert ArcSet(100, [(10, 0)]).is_empty
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(GeometryError):
+            ArcSet(100, [(10, -5)])
+
+    def test_bad_perimeter_rejected(self):
+        with pytest.raises(GeometryError):
+            ArcSet(0)
+
+    def test_overlapping_inputs_merge(self):
+        s = ArcSet(100, [(10, 20), (20, 20)])
+        assert s.intervals == ((10, 40),)
+
+    def test_adjacent_inputs_merge(self):
+        s = ArcSet(100, [(10, 10), (20, 10)])
+        assert s.intervals == ((10, 30),)
+
+    def test_arc_dataclass_validation(self):
+        with pytest.raises(GeometryError):
+            Arc(0, 0)
+
+
+class TestQueries:
+    def test_contains(self):
+        s = ArcSet(100, [(10, 20)])
+        assert s.contains(10)
+        assert s.contains(29)
+        assert not s.contains(30)
+        assert not s.contains(9)
+
+    def test_contains_wraps(self):
+        s = ArcSet(100, [(90, 20)])
+        assert s.contains(95)
+        assert s.contains(5)
+        assert s.contains(105)  # mod perimeter
+        assert not s.contains(50)
+
+    def test_equality_and_hash(self):
+        a = ArcSet(100, [(10, 20)])
+        b = ArcSet(100, [(110, 20)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_perimeters_not_equal(self):
+        assert ArcSet(100, [(0, 10)]) != ArcSet(200, [(0, 10)])
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = ArcSet(100, [(0, 10)])
+        b = ArcSet(100, [(50, 10)])
+        u = a.union(b)
+        assert u.measure == 20
+        assert u.contains(5) and u.contains(55)
+
+    def test_union_merges_overlap(self):
+        a = ArcSet(100, [(0, 30)])
+        b = ArcSet(100, [(20, 30)])
+        assert a.union(b).intervals == ((0, 50),)
+
+    def test_intersection(self):
+        a = ArcSet(100, [(0, 30)])
+        b = ArcSet(100, [(20, 30)])
+        assert a.intersection(b).intervals == ((20, 30),)
+
+    def test_disjoint_intersection_empty(self):
+        a = ArcSet(100, [(0, 10)])
+        b = ArcSet(100, [(50, 10)])
+        assert a.intersection(b).is_empty
+        assert not a.intersects(b)
+
+    def test_intersects_early_exit(self):
+        a = ArcSet(100, [(0, 60)])
+        b = ArcSet(100, [(50, 10)])
+        assert a.intersects(b)
+
+    def test_complement(self):
+        s = ArcSet(100, [(10, 20)])
+        c = s.complement()
+        assert c.measure == 80
+        assert c.intervals == ((0, 10), (30, 100))
+
+    def test_complement_of_empty_is_full(self):
+        assert ArcSet(100).complement().is_full
+
+    def test_complement_involution(self):
+        s = ArcSet(100, [(10, 20), (50, 5)])
+        assert s.complement().complement() == s
+
+    def test_overlap_length(self):
+        a = ArcSet(100, [(0, 50)])
+        b = ArcSet(100, [(40, 30)])
+        assert a.overlap_length(b) == 10
+
+    def test_mismatched_perimeters_rejected(self):
+        with pytest.raises(GeometryError):
+            ArcSet(100).union(ArcSet(200))
+
+
+class TestRotation:
+    def test_rotate_moves_arc(self):
+        s = ArcSet(100, [(10, 20)]).rotate(5)
+        assert s.intervals == ((15, 35),)
+
+    def test_rotate_wraps(self):
+        s = ArcSet(100, [(80, 15)]).rotate(10)
+        assert s == ArcSet(100, [(90, 15)])
+
+    def test_rotate_preserves_measure(self):
+        s = ArcSet(100, [(10, 20), (60, 5)])
+        for delta in (1, 37, 99, -13):
+            assert s.rotate(delta).measure == s.measure
+
+    def test_rotate_by_perimeter_is_identity(self):
+        s = ArcSet(100, [(10, 20)])
+        assert s.rotate(100) == s
+        assert s.rotate(0) is s
+
+    def test_rotate_negative(self):
+        s = ArcSet(100, [(10, 20)]).rotate(-10)
+        assert s == ArcSet(100, [(0, 20)])
+
+    def test_rotation_composes(self):
+        s = ArcSet(100, [(10, 20)])
+        assert s.rotate(30).rotate(40) == s.rotate(70)
+
+
+class TestTiling:
+    def test_tile_doubles(self):
+        s = ArcSet(50, [(10, 5)]).tile(100)
+        assert s.intervals == ((10, 15), (60, 65))
+
+    def test_tile_preserves_density(self):
+        s = ArcSet(40, [(30, 10)])
+        tiled = s.tile(120)
+        assert tiled.measure == 3 * s.measure
+
+    def test_tile_same_perimeter_identity(self):
+        s = ArcSet(40, [(5, 10)])
+        assert s.tile(40) == s
+
+    def test_tile_non_multiple_rejected(self):
+        with pytest.raises(GeometryError):
+            ArcSet(40, [(0, 10)]).tile(100)
+
+    def test_tiled_wrapping_arc(self):
+        s = ArcSet(40, [(35, 10)]).tile(80)
+        # arcs [35,45) and [75,85)=[75,80)+[0,5) on the 80-circle
+        assert s.measure == 20
+        assert s.contains(36) and s.contains(44)
+        assert s.contains(76) and s.contains(3)
+
+
+class TestGaps:
+    def test_simple_gaps(self):
+        # Complement pieces [0,10), [30,50), [60,100); the first and last
+        # join across zero into one circular gap of length 50.
+        s = ArcSet(100, [(10, 20), (50, 10)])
+        assert sorted(s.gaps()) == [(30, 20), (60, 50)]
+
+    def test_gap_lengths_sum_to_uncovered(self):
+        s = ArcSet(100, [(10, 20), (50, 10)])
+        assert sum(length for _, length in s.gaps()) == 100 - s.measure
+
+    def test_gap_joins_across_zero(self):
+        s = ArcSet(100, [(40, 20)])
+        gaps = s.gaps()
+        assert len(gaps) == 1
+        start, length = gaps[0]
+        assert start == 60 and length == 80
+
+    def test_full_set_has_no_gaps(self):
+        assert ArcSet(100, [(0, 100)]).gaps() == []
+
+    def test_empty_set_gap_is_whole_circle(self):
+        assert ArcSet(100).gaps() == [(0, 100)]
+
+
+class TestCoverage:
+    def test_counts(self):
+        a = ArcSet(100, [(0, 50)])
+        b = ArcSet(100, [(25, 50)])
+        segments = ArcSet.coverage([a, b])
+        counts = {(s, e): c for s, e, c in segments}
+        assert counts[(0, 25)] == 1
+        assert counts[(25, 50)] == 2
+        assert counts[(50, 75)] == 1
+        assert counts[(75, 100)] == 0
+
+    def test_segments_partition_circle(self):
+        a = ArcSet(100, [(10, 30)])
+        b = ArcSet(100, [(90, 25)])
+        segments = ArcSet.coverage([a, b])
+        assert segments[0][0] == 0
+        assert segments[-1][1] == 100
+        for (s1, e1, _), (s2, e2, _) in zip(segments, segments[1:]):
+            assert e1 == s2
+
+    def test_max_coverage(self):
+        a = ArcSet(100, [(0, 50)])
+        b = ArcSet(100, [(25, 50)])
+        c = ArcSet(100, [(40, 20)])
+        assert ArcSet.max_coverage([a, b, c]) == 3
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(GeometryError):
+            ArcSet.coverage([])
+
+    def test_mixed_perimeters_rejected(self):
+        with pytest.raises(GeometryError):
+            ArcSet.coverage([ArcSet(100), ArcSet(50)])

@@ -1,0 +1,319 @@
+"""Solver tests: exact feasible sets, pairwise gcd reduction, DFS,
+heuristics, the facade's escalation and certificates."""
+
+import pytest
+
+from repro.core.arcs import ArcSet
+from repro.core.circle import JobCircle
+from repro.core.optimize import (
+    annealing_search,
+    backtracking_search,
+    exact_pair_feasible_rotations,
+    exhaustive_search,
+    feasible_rotations,
+    greedy_search,
+    pair_compatible,
+    solve,
+)
+from repro.core.unified import UnifiedCircle
+from repro.errors import CompatibilityError
+
+
+def _verify_rotations(circles, rotations, capacity=1):
+    """Ground-truth check: rotations must yield zero overlap."""
+    assert UnifiedCircle(circles).overlap_ticks(
+        rotations, capacity=capacity
+    ) == 0
+
+
+class TestFeasibleRotations:
+    def test_matches_brute_force_same_period(self):
+        placed = ArcSet(100, [(20, 30)])
+        circle = JobCircle.from_phases("j", 80, 20)
+        feasible = feasible_rotations(placed, circle, 100)
+        for delta in range(100):
+            expected = not placed.intersects(
+                circle.rotate(delta).tiled_comm(100)
+            )
+            assert feasible.contains(delta) == expected, delta
+
+    def test_matches_brute_force_tiled(self):
+        placed = ArcSet(120, [(10, 25), (70, 10)])
+        circle = JobCircle.from_phases("j", 30, 10)  # period 40, tiles x3
+        feasible = feasible_rotations(placed, circle, 120)
+        for delta in range(40):
+            expected = not placed.intersects(
+                circle.rotate(delta).tiled_comm(120)
+            )
+            assert feasible.contains(delta) == expected, delta
+
+    def test_empty_placed_means_all_feasible(self):
+        circle = JobCircle.from_phases("j", 30, 10)
+        feasible = feasible_rotations(ArcSet(120), circle, 120)
+        assert feasible.is_full
+
+    def test_non_multiple_perimeter_rejected(self):
+        from repro.errors import GeometryError
+        with pytest.raises(GeometryError):
+            feasible_rotations(
+                ArcSet(100), JobCircle.from_phases("j", 30, 10), 100
+            )
+
+
+class TestExactPair:
+    def test_matches_brute_force(self):
+        first = JobCircle.from_phases("a", 30, 10)   # period 40
+        second = JobCircle.from_phases("b", 45, 15)  # period 60
+        feasible = exact_pair_feasible_rotations(first, second)
+        unified = UnifiedCircle([first, second])
+        g = 20  # gcd(40, 60)
+        for residue in range(g):
+            brute = any(
+                unified.overlap_ticks({"b": delta}) == 0
+                for delta in range(residue, 60, g)
+            )
+            # All lifts of a residue are equivalent, so check one.
+            one_lift = unified.overlap_ticks({"b": residue}) == 0
+            assert feasible.contains(residue) == one_lift
+            assert brute == one_lift
+
+    def test_equal_periods(self):
+        first = JobCircle.from_phases("a", 60, 40)
+        second = JobCircle.from_phases("b", 55, 45)
+        feasible = exact_pair_feasible_rotations(first, second)
+        assert not feasible.is_empty
+        delta = pair_compatible(first, second)
+        _verify_rotations([first, second], {"a": 0, "b": delta})
+
+    def test_infeasible_pair(self):
+        first = JobCircle.from_phases("a", 40, 60)
+        second = JobCircle.from_phases("b", 40, 60)
+        assert exact_pair_feasible_rotations(first, second).is_empty
+        assert pair_compatible(first, second) is None
+
+    def test_gcd_reduction_proves_infeasibility(self):
+        # Arcs of 10 and 15 cannot mesh when gcd of the periods is 20:
+        # 10 + 15 - 1 = 24 > 20 forbids every residue.
+        first = JobCircle.from_phases("a", 30, 10)   # period 40
+        second = JobCircle.from_phases("b", 45, 15)  # period 60
+        assert exact_pair_feasible_rotations(first, second).is_empty
+
+    def test_huge_lcm_is_cheap(self):
+        # Nearly coprime periods: LCM is ~6e4 ticks but the gcd circle is
+        # tiny, so this must return instantly.
+        first = JobCircle.from_phases("a", 211, 42)   # period 253
+        second = JobCircle.from_phases("b", 205, 46)  # period 251
+        feasible = exact_pair_feasible_rotations(first, second)
+        # gcd(253, 251) = 1: a single residue, necessarily infeasible
+        # since any overlap anywhere kills it.
+        assert feasible.perimeter == 1
+        assert feasible.is_empty
+
+
+class TestBacktracking:
+    def test_finds_equal_period_packing(self):
+        circles = [
+            JobCircle.from_phases("a", 60, 40),
+            JobCircle.from_phases("b", 70, 30),
+            JobCircle.from_phases("c", 75, 25),
+        ]
+        outcome = backtracking_search(circles)
+        assert outcome.found
+        _verify_rotations(circles, outcome.rotations)
+
+    def test_reports_infeasible_overload(self):
+        circles = [
+            JobCircle.from_phases("a", 40, 60),
+            JobCircle.from_phases("b", 40, 60),
+        ]
+        outcome = backtracking_search(circles, candidate_mode="complete")
+        assert not outcome.found
+        assert outcome.complete
+
+    def test_group5_instance(self):
+        # Table 1 group 5: periods 330/330/165, arcs 50/50/8.
+        circles = [
+            JobCircle.from_phases("v19", 280, 50),
+            JobCircle.from_phases("v16", 280, 50),
+            JobCircle.from_phases("r50", 157, 8),
+        ]
+        outcome = backtracking_search(circles)
+        assert outcome.found
+        _verify_rotations(circles, outcome.rotations)
+
+    def test_bad_candidate_mode_rejected(self):
+        with pytest.raises(CompatibilityError):
+            backtracking_search(
+                [JobCircle.from_phases("a", 10, 10)],
+                candidate_mode="psychic",
+            )
+
+    def test_single_job_trivial(self):
+        outcome = backtracking_search([JobCircle.from_phases("a", 10, 10)])
+        assert outcome.found
+
+
+class TestGreedy:
+    def test_finds_easy_packing(self):
+        circles = [
+            JobCircle.from_phases("a", 80, 20),
+            JobCircle.from_phases("b", 80, 20),
+            JobCircle.from_phases("c", 80, 20),
+        ]
+        outcome = greedy_search(circles)
+        assert outcome.found
+        _verify_rotations(circles, outcome.rotations)
+
+    def test_reports_best_effort_on_overload(self):
+        circles = [
+            JobCircle.from_phases("a", 40, 60),
+            JobCircle.from_phases("b", 40, 60),
+        ]
+        outcome = greedy_search(circles)
+        assert not outcome.found
+        # Best effort: the unavoidable overlap is 2*60 - 100 = 20.
+        assert outcome.overlap == 20
+
+
+class TestAnnealing:
+    def test_finds_feasible_packing(self):
+        circles = [
+            JobCircle.from_phases("a", 70, 30),
+            JobCircle.from_phases("b", 70, 30),
+        ]
+        outcome = annealing_search(circles, seed=0)
+        assert outcome.found
+        _verify_rotations(circles, outcome.rotations)
+
+    def test_capacity_two(self):
+        circles = [
+            JobCircle.from_phases("a", 40, 60),
+            JobCircle.from_phases("b", 40, 60),
+            JobCircle.from_phases("c", 70, 30),
+        ]
+        outcome = annealing_search(circles, capacity=2, seed=0)
+        assert outcome.found
+        _verify_rotations(circles, outcome.rotations, capacity=2)
+
+    def test_deterministic_given_seed(self):
+        circles = [
+            JobCircle.from_phases("a", 70, 30),
+            JobCircle.from_phases("b", 70, 30),
+        ]
+        a = annealing_search(circles, seed=5)
+        b = annealing_search(circles, seed=5)
+        assert a.rotations == b.rotations
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(CompatibilityError):
+            annealing_search([JobCircle.from_phases("a", 10, 10)], capacity=0)
+
+
+class TestExhaustive:
+    def test_fine_grid_finds_packing(self):
+        circles = [
+            JobCircle.from_phases("a", 60, 40),
+            JobCircle.from_phases("b", 55, 45),
+        ]
+        outcome = exhaustive_search(circles, steps_per_job=50)
+        assert outcome.found
+        _verify_rotations(circles, outcome.rotations)
+
+    def test_coarse_grid_can_miss(self):
+        # The tight triple leaves only a 5-tick window; 4 sectors miss it.
+        circles = [
+            JobCircle.from_phases("a", 60, 40),
+            JobCircle.from_phases("b", 70, 30),
+            JobCircle.from_phases("c", 75, 25),
+        ]
+        outcome = exhaustive_search(circles, steps_per_job=4)
+        assert not outcome.found
+
+    def test_budget_guard(self):
+        circles = [
+            JobCircle.from_phases(f"j{i}", 60, 40) for i in range(6)
+        ]
+        with pytest.raises(CompatibilityError):
+            exhaustive_search(circles, steps_per_job=36, max_evaluations=10)
+
+
+class TestSolveFacade:
+    def test_single_job_trivial(self):
+        outcome = solve([JobCircle.from_phases("a", 10, 10)])
+        assert outcome.found and outcome.complete
+
+    def test_utilization_bound_certificate(self):
+        circles = [
+            JobCircle.from_phases("a", 40, 60),
+            JobCircle.from_phases("b", 40, 60),
+        ]
+        outcome = solve(circles)
+        assert not outcome.found
+        assert outcome.complete
+        assert outcome.method == "utilization-bound"
+
+    def test_pairwise_certificate(self):
+        # BERT/VGG19 shape: VGG19's 145-tick arc exceeds BERT's 95-tick gap.
+        circles = [
+            JobCircle.from_phases("bert", 95, 55),    # period 150
+            JobCircle.from_phases("vgg19", 105, 145),  # period 250
+        ]
+        outcome = solve(circles)
+        assert not outcome.found
+        assert outcome.complete
+        assert outcome.method.startswith("pairwise")
+
+    def test_exact_pair_path(self):
+        circles = [
+            JobCircle.from_phases("a", 701, 300),
+            JobCircle.from_phases("b", 701, 300),
+        ]
+        outcome = solve(circles)
+        assert outcome.found
+        assert outcome.method == "exact-pair"
+        _verify_rotations(circles, outcome.rotations)
+
+    def test_three_jobs_exact(self):
+        circles = [
+            JobCircle.from_phases("a", 280, 50),
+            JobCircle.from_phases("b", 280, 50),
+            JobCircle.from_phases("c", 157, 8),
+        ]
+        outcome = solve(circles)
+        assert outcome.found
+        _verify_rotations(circles, outcome.rotations)
+
+    def test_explicit_methods(self):
+        circles = [
+            JobCircle.from_phases("a", 70, 30),
+            JobCircle.from_phases("b", 70, 30),
+        ]
+        for method in ("greedy", "annealing", "exhaustive", "backtracking"):
+            outcome = solve(circles, method=method)
+            assert outcome.found, method
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(CompatibilityError):
+            solve([JobCircle.from_phases("a", 10, 10)], method="oracle")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompatibilityError):
+            solve([])
+
+    def test_solutions_always_verified(self):
+        # Fuzz a few random-ish instances: whenever solve() claims
+        # feasibility, the rotations must truly have zero overlap.
+        import numpy as np
+
+        rng = np.random.default_rng(12)
+        for _ in range(20):
+            circles = []
+            for index in range(int(rng.integers(2, 4))):
+                period = int(rng.integers(20, 120))
+                comm = int(rng.integers(1, max(period // 2, 2)))
+                circles.append(
+                    JobCircle.from_phases(f"j{index}", period - comm, comm)
+                )
+            outcome = solve(circles, seed=1)
+            if outcome.found:
+                _verify_rotations(circles, outcome.rotations)

@@ -1,0 +1,86 @@
+"""Tests for compatibility-aware job grouping (link bin packing)."""
+
+import pytest
+
+from repro.core.circle import JobCircle
+from repro.core.compatibility import CompatibilityChecker
+from repro.core.unified import UnifiedCircle
+from repro.errors import CompatibilityError
+from repro.scheduler.grouping import group_jobs
+from repro.units import gbps
+
+CHECKER = CompatibilityChecker(capacity=gbps(42))
+
+
+def _light(job_id, period=300, comm=60):
+    return JobCircle.from_phases(job_id, period - comm, comm)
+
+
+def _heavy(job_id, period=300, comm=180):
+    return JobCircle.from_phases(job_id, period - comm, comm)
+
+
+class TestGrouping:
+    def test_light_population_fits_one_group(self):
+        circles = [_light(f"l{i}") for i in range(4)]  # 4 x 20% = 80%
+        result = group_jobs(circles, checker=CHECKER)
+        assert len(result.groups) == 1
+        assert result.unplaced == []
+        assert result.placed_count == 4
+
+    def test_every_group_schedule_is_collision_free(self):
+        circles = [_light(f"l{i}") for i in range(4)] + [
+            _heavy(f"h{i}") for i in range(3)
+        ]
+        result = group_jobs(circles, checker=CHECKER)
+        for group in result.groups:
+            if len(group.circles) < 2:
+                continue
+            unified = UnifiedCircle(group.circles)
+            assert unified.overlap_ticks(group.rotations) == 0, group.index
+
+    def test_heavy_jobs_spread_over_groups(self):
+        # 60%-comm jobs: at most one per group plus light leftovers.
+        circles = [_heavy(f"h{i}") for i in range(3)]
+        result = group_jobs(circles, checker=CHECKER)
+        assert len(result.groups) == 3
+
+    def test_budget_forces_unplaced(self):
+        circles = [_heavy(f"h{i}") for i in range(3)]
+        result = group_jobs(circles, max_groups=2, checker=CHECKER)
+        assert len(result.groups) == 2
+        assert len(result.unplaced) == 1
+
+    def test_group_of_lookup(self):
+        circles = [_light("a"), _heavy("b")]
+        result = group_jobs(circles, checker=CHECKER)
+        assert result.group_of("a") is not None
+        assert result.group_of("ghost") is None
+
+    def test_first_fit_decreasing_order(self):
+        # Heavy jobs are seated first; lights then fill around them.
+        circles = [_light("l0"), _heavy("h0"), _light("l1")]
+        result = group_jobs(circles, checker=CHECKER)
+        first_group = result.groups[0]
+        assert first_group.job_ids[0] == "h0"
+
+    def test_mixed_periods_separate(self):
+        # Incommensurate periods rarely mesh: expect separate groups.
+        a = JobCircle.from_phases("a", 150, 150)  # period 300, 50%
+        b = JobCircle.from_phases("b", 103, 104)  # period 207, 50%
+        result = group_jobs([a, b], checker=CHECKER)
+        assert len(result.groups) == 2
+
+    def test_duplicate_ids_rejected(self):
+        circle = _light("same")
+        with pytest.raises(CompatibilityError):
+            group_jobs([circle, circle], checker=CHECKER)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(CompatibilityError):
+            group_jobs([_light("a")], max_groups=0, checker=CHECKER)
+
+    def test_comm_load_tracks_fill(self):
+        circles = [_light(f"l{i}") for i in range(3)]
+        result = group_jobs(circles, checker=CHECKER)
+        assert result.groups[0].comm_load == pytest.approx(0.6)

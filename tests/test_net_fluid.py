@@ -1,0 +1,184 @@
+"""Fluid-allocator tests: max-min, weights, priorities, caps, invariants."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigError
+from repro.net.flows import Flow
+from repro.net.fluid import FluidAllocator
+from repro.net.topology import Link
+from repro.units import gbps
+
+
+def _link(name="L1", capacity=gbps(42)):
+    return Link("a", "b", capacity, name=name)
+
+
+def _flow(fid, links, weight=1.0, priority=0, cap=None):
+    return Flow(
+        flow_id=fid, src="s", dst="d", links=links,
+        weight=weight, priority=priority, rate_cap=cap, job_id=fid,
+    )
+
+
+class TestFairSharing:
+    def test_two_flows_split_evenly(self):
+        link = _link()
+        alloc = FluidAllocator().allocate(
+            [_flow("f1", [link]), _flow("f2", [link])]
+        )
+        assert alloc.rates[_flow("f1", [link])] == pytest.approx(
+            link.capacity / 2
+        )
+        assert alloc.utilization(link) == pytest.approx(1.0)
+
+    def test_single_flow_takes_all(self):
+        link = _link()
+        f = _flow("f", [link])
+        alloc = FluidAllocator().allocate([f])
+        assert alloc.rate_of(f) == pytest.approx(link.capacity)
+
+    def test_n_flows_equal_shares(self):
+        link = _link()
+        flows = [_flow(f"f{i}", [link]) for i in range(7)]
+        alloc = FluidAllocator().allocate(flows)
+        for f in flows:
+            assert alloc.rate_of(f) == pytest.approx(link.capacity / 7)
+
+    def test_empty_allocation(self):
+        alloc = FluidAllocator().allocate([])
+        assert alloc.rates == {}
+
+
+class TestWeights:
+    def test_two_to_one_split(self):
+        link = _link()
+        f1 = _flow("f1", [link], weight=2.0)
+        f2 = _flow("f2", [link], weight=1.0)
+        alloc = FluidAllocator().allocate([f1, f2])
+        assert alloc.rate_of(f1) == pytest.approx(link.capacity * 2 / 3)
+        assert alloc.rate_of(f2) == pytest.approx(link.capacity / 3)
+
+    def test_weight_only_matters_on_shared_links(self):
+        shared = _link("L1")
+        private = Link("b", "c", gbps(10), name="L2")
+        f1 = _flow("f1", [shared, private], weight=100.0)
+        f2 = _flow("f2", [shared], weight=1.0)
+        alloc = FluidAllocator().allocate([f1, f2])
+        # f1 is capped by its private 10 Gbps link; f2 soaks up the rest.
+        assert alloc.rate_of(f1) == pytest.approx(gbps(10))
+        assert alloc.rate_of(f2) == pytest.approx(gbps(32))
+
+
+class TestRateCaps:
+    def test_cap_respected(self):
+        link = _link()
+        f = _flow("f", [link], cap=gbps(5))
+        alloc = FluidAllocator().allocate([f])
+        assert alloc.rate_of(f) == pytest.approx(gbps(5))
+
+    def test_capped_flow_releases_bandwidth(self):
+        link = _link()
+        f1 = _flow("f1", [link], cap=gbps(2))
+        f2 = _flow("f2", [link])
+        alloc = FluidAllocator().allocate([f1, f2])
+        assert alloc.rate_of(f1) == pytest.approx(gbps(2))
+        assert alloc.rate_of(f2) == pytest.approx(gbps(40))
+
+    def test_pathless_flow_needs_cap(self):
+        f = _flow("f", [], cap=gbps(3))
+        alloc = FluidAllocator().allocate([f])
+        assert alloc.rate_of(f) == pytest.approx(gbps(3))
+
+    def test_pathless_uncapped_rejected(self):
+        with pytest.raises(AllocationError):
+            FluidAllocator().allocate([_flow("f", [])])
+
+
+class TestPriorities:
+    def test_strict_priority_starves_lower_class(self):
+        link = _link()
+        high = _flow("high", [link], priority=2)
+        low = _flow("low", [link], priority=1)
+        alloc = FluidAllocator().allocate([high, low])
+        assert alloc.rate_of(high) == pytest.approx(link.capacity)
+        assert alloc.rate_of(low) == pytest.approx(0.0)
+
+    def test_lower_class_gets_leftovers(self):
+        link = _link()
+        high = _flow("high", [link], priority=2, cap=gbps(10))
+        low = _flow("low", [link], priority=1)
+        alloc = FluidAllocator().allocate([high, low])
+        assert alloc.rate_of(low) == pytest.approx(gbps(32))
+
+    def test_within_class_weighted(self):
+        link = _link()
+        a = _flow("a", [link], priority=1, weight=3.0)
+        b = _flow("b", [link], priority=1, weight=1.0)
+        alloc = FluidAllocator().allocate([a, b])
+        assert alloc.rate_of(a) == pytest.approx(link.capacity * 0.75)
+
+
+class TestMultiLink:
+    def test_bottleneck_is_binding(self):
+        wide = Link("a", "b", gbps(100), name="wide")
+        narrow = Link("b", "c", gbps(10), name="narrow")
+        f = _flow("f", [wide, narrow])
+        alloc = FluidAllocator().allocate([f])
+        assert alloc.rate_of(f) == pytest.approx(gbps(10))
+
+    def test_max_min_across_links(self):
+        # Classic 3-flow example: f1 spans both links, f2 and f3 use one
+        # link each. Max-min: f1 = f2 = f3 = C/2.
+        l1 = Link("a", "b", gbps(10), name="l1")
+        l2 = Link("b", "c", gbps(10), name="l2")
+        f1 = _flow("f1", [l1, l2])
+        f2 = _flow("f2", [l1])
+        f3 = _flow("f3", [l2])
+        alloc = FluidAllocator().allocate([f1, f2, f3])
+        assert alloc.rate_of(f1) == pytest.approx(gbps(5))
+        assert alloc.rate_of(f2) == pytest.approx(gbps(5))
+        assert alloc.rate_of(f3) == pytest.approx(gbps(5))
+
+    def test_asymmetric_capacities(self):
+        l1 = Link("a", "b", gbps(10), name="l1")
+        l2 = Link("b", "c", gbps(30), name="l2")
+        f1 = _flow("f1", [l1, l2])
+        f2 = _flow("f2", [l2])
+        alloc = FluidAllocator().allocate([f1, f2])
+        # f1 limited to 10 by l1; f2 takes the remaining 20 on l2.
+        assert alloc.rate_of(f1) == pytest.approx(gbps(10))
+        assert alloc.rate_of(f2) == pytest.approx(gbps(20))
+
+    def test_no_link_oversubscribed(self):
+        link = _link()
+        flows = [
+            _flow(f"f{i}", [link], weight=float(i + 1)) for i in range(5)
+        ]
+        alloc = FluidAllocator().allocate(flows)
+        assert alloc.link_loads[link] <= link.capacity * (1 + 1e-9)
+
+
+class TestFlowValidation:
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            Flow(flow_id="f", src="a", dst="b", weight=0.0)
+
+    def test_bad_progress_rejected(self):
+        with pytest.raises(ConfigError):
+            Flow(flow_id="f", src="a", dst="b", progress=1.5)
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            Flow(flow_id="f", src="a", dst="b", rate_cap=0.0)
+
+    def test_flow_identity_by_id(self):
+        a = Flow(flow_id="f", src="a", dst="b")
+        b = Flow(flow_id="f", src="x", dst="y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_traverses(self):
+        link = _link()
+        f = _flow("f", [link])
+        assert f.traverses(link)
+        assert not f.traverses(Link("x", "y", 1.0, name="other"))

@@ -1,0 +1,239 @@
+"""Tests for trace profiling, analytic prediction, convergence detection
+and the ASCII circle renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.circleplot import render_coverage_band, render_unified
+from repro.analysis.convergence import (
+    detect_convergence,
+    iterations_to_reach,
+)
+from repro.cc.fair import FairSharing
+from repro.cc.weighted import StaticWeighted
+from repro.core.circle import JobCircle
+from repro.core.prediction import (
+    fair_lockstep_iteration_time,
+    steady_period_lower_bound,
+    unfairness_speedup_estimate,
+)
+from repro.errors import GeometryError, SimulationError, WorkloadError
+from repro.net.phasesim import PhaseLevelSimulator
+from repro.net.topology import Topology
+from repro.sim.trace import StepFunction
+from repro.units import gbps, ms
+from repro.workloads.job import JobSpec
+from repro.workloads.profiler import on_off_phases, profile_trace
+from repro.workloads.traces import demand_trace
+
+CAP = gbps(42)
+
+
+class TestProfiler:
+    def _spec(self, compute_ms=141, comm_ms=114):
+        return JobSpec(
+            "j", compute_time=ms(compute_ms),
+            comm_bytes=ms(comm_ms) * CAP,
+        )
+
+    def test_recovers_synthetic_trace(self):
+        spec = self._spec()
+        trace = demand_trace(spec, CAP, n_iterations=6)
+        profile = profile_trace(trace, 0.0, 6 * 0.255)
+        assert profile.iteration_time == pytest.approx(0.255, rel=1e-6)
+        assert profile.comm_time == pytest.approx(0.114, rel=1e-6)
+        assert profile.compute_time == pytest.approx(0.141, rel=1e-6)
+        assert profile.bandwidth_demand == pytest.approx(CAP, rel=1e-6)
+
+    def test_recovers_simulated_solo_run(self):
+        spec = self._spec(100, 60)
+        topo = Topology.dumbbell(host_capacity=CAP, bottleneck_capacity=CAP)
+        sim = PhaseLevelSimulator(topo, FairSharing())
+        run = sim.add_job(spec, "ha0", "hb0", n_iterations=8)
+        result = sim.run()
+        profile = profile_trace(run.rate_trace, 0.0, result.duration)
+        assert profile.iteration_time == pytest.approx(0.160, rel=1e-3)
+        assert profile.comm_fraction == pytest.approx(0.375, rel=1e-2)
+
+    def test_circle_ticks_quantization(self):
+        spec = self._spec()
+        trace = demand_trace(spec, CAP, n_iterations=6)
+        profile = profile_trace(trace, 0.0, 6 * 0.255)
+        assert profile.circle_ticks(1000) == (141, 114)
+
+    def test_phases_segmentation(self):
+        spec = self._spec(100, 50)
+        trace = demand_trace(spec, CAP, n_iterations=2)
+        phases = on_off_phases(trace, 0.0, 0.3)
+        states = [state for _, _, state in phases]
+        assert states == [False, True, False, True]
+
+    def test_too_few_cycles_rejected(self):
+        spec = self._spec()
+        trace = demand_trace(spec, CAP, n_iterations=2)
+        with pytest.raises(WorkloadError):
+            profile_trace(trace, 0.0, 2 * 0.255)
+
+    def test_silent_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            profile_trace(StepFunction(0.0), 0.0, 1.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(WorkloadError):
+            on_off_phases(StepFunction(0.0), 1.0, 0.5)
+
+
+class TestPrediction:
+    def test_fair_lockstep_matches_simulator(self):
+        specs = [
+            JobSpec("a", ms(100), ms(110) * CAP),
+            JobSpec("b", ms(100), ms(110) * CAP),
+        ]
+        predicted = fair_lockstep_iteration_time(specs, CAP)
+        topo = Topology.dumbbell(
+            hosts_per_side=2, host_capacity=CAP, bottleneck_capacity=CAP
+        )
+        sim = PhaseLevelSimulator(topo, FairSharing())
+        for i, spec in enumerate(specs):
+            sim.add_job(spec, f"ha{i}", f"hb{i}", n_iterations=5)
+        result = sim.run()
+        assert result.mean_iteration_time("a") == pytest.approx(
+            predicted, rel=1e-9
+        )
+
+    def test_dlrm_speedup_estimate_matches_paper(self):
+        specs = [
+            JobSpec("a", ms(701), ms(300) * CAP),
+            JobSpec("b", ms(701), ms(300) * CAP),
+        ]
+        assert unfairness_speedup_estimate(specs, CAP) == pytest.approx(
+            1.30, abs=0.005
+        )
+
+    def test_lower_bound_holds_in_simulation(self):
+        specs = [
+            JobSpec("a", ms(100), ms(110) * CAP),
+            JobSpec("b", ms(100), ms(110) * CAP),
+        ]
+        bound = steady_period_lower_bound(specs[0], specs, CAP)
+        topo = Topology.dumbbell(
+            hosts_per_side=2, host_capacity=CAP, bottleneck_capacity=CAP
+        )
+        sim = PhaseLevelSimulator(
+            topo, StaticWeighted.from_aggressiveness_order(["a", "b"])
+        )
+        for i, spec in enumerate(specs):
+            sim.add_job(spec, f"ha{i}", f"hb{i}", n_iterations=30)
+        result = sim.run()
+        steady = result.mean_iteration_time("a", skip=20)
+        assert steady >= bound * 0.999
+
+    def test_mismatched_specs_rejected(self):
+        specs = [
+            JobSpec("a", ms(100), ms(110) * CAP),
+            JobSpec("b", ms(200), ms(110) * CAP),
+        ]
+        with pytest.raises(WorkloadError):
+            fair_lockstep_iteration_time(specs, CAP)
+
+    def test_sharers_must_include_job(self):
+        a = JobSpec("a", ms(100), ms(110) * CAP)
+        b = JobSpec("b", ms(100), ms(110) * CAP)
+        with pytest.raises(WorkloadError):
+            steady_period_lower_bound(a, [b], CAP)
+
+
+class TestConvergence:
+    def test_detects_settled_tail(self):
+        series = [0.40, 0.35, 0.31, 0.30, 0.30, 0.30, 0.30]
+        result = detect_convergence(series, tolerance=0.02)
+        assert result.converged
+        assert result.iteration == 3
+        assert result.steady_value == pytest.approx(0.30)
+
+    def test_flat_series_converges_at_zero(self):
+        result = detect_convergence([1.0] * 6)
+        assert result.converged and result.iteration == 0
+
+    def test_noisy_series_does_not_converge(self):
+        rng = np.random.default_rng(0)
+        series = 1.0 + 0.5 * rng.random(20)
+        result = detect_convergence(series, tolerance=0.01)
+        assert not result.converged
+
+    def test_iterations_to_reach(self):
+        series = [0.40, 0.33, 0.31, 0.30, 0.30, 0.30]
+        assert iterations_to_reach(series, 0.30, tolerance=0.05) == 2
+
+    def test_target_never_reached(self):
+        assert iterations_to_reach([1.0, 1.0], 0.1) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            detect_convergence([])
+        with pytest.raises(SimulationError):
+            iterations_to_reach([], 1.0)
+
+    def test_slide_convergence_in_simulation(self):
+        # A fully compatible pair settles to its solo time within a
+        # handful of iterations under unfairness (the Figure 2 claim).
+        specs = [
+            JobSpec("a", ms(210), ms(90) * CAP),
+            JobSpec("b", ms(210), ms(90) * CAP),
+        ]
+        topo = Topology.dumbbell(
+            hosts_per_side=2, host_capacity=CAP, bottleneck_capacity=CAP
+        )
+        sim = PhaseLevelSimulator(
+            topo, StaticWeighted.from_aggressiveness_order(["a", "b"])
+        )
+        for i, spec in enumerate(specs):
+            sim.add_job(spec, f"ha{i}", f"hb{i}", n_iterations=30)
+        result = sim.run()
+        convergence = detect_convergence(
+            result.iteration_times("b"), tolerance=0.02
+        )
+        assert convergence.converged
+        assert convergence.iteration <= 8
+        assert convergence.steady_value == pytest.approx(0.30, rel=0.02)
+        reach = iterations_to_reach(
+            result.iteration_times("b"), 0.30, tolerance=0.02
+        )
+        assert reach is not None and reach <= 8
+
+
+class TestCirclePlot:
+    def _pair(self):
+        return [
+            JobCircle.from_phases("J1", 30, 10),
+            JobCircle.from_phases("J2", 50, 10),
+        ]
+
+    def test_render_unified_contains_symbols_and_legend(self):
+        art = render_unified(self._pair(), {"J2": 10}, size=15)
+        assert "#" in art and "*" in art
+        assert "J1" in art and "J2" in art
+        assert "120 ticks" in art
+
+    def test_coverage_band_flags_collisions(self):
+        band_bad = render_coverage_band(self._pair())
+        band_good = render_coverage_band(self._pair(), {"J2": 10})
+        assert "!" in band_bad
+        assert "!" not in band_good
+
+    def test_capacity_two_band(self):
+        circles = [
+            JobCircle.from_phases("a", 40, 60),
+            JobCircle.from_phases("b", 40, 60),
+        ]
+        band = render_coverage_band(circles, capacity=2)
+        assert "!" not in band
+        assert "2" in band
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(GeometryError):
+            render_unified([], size=15)
+        with pytest.raises(GeometryError):
+            render_unified(self._pair(), size=3)
+        with pytest.raises(GeometryError):
+            render_coverage_band(self._pair(), width=2)

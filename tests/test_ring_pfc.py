@@ -1,0 +1,185 @@
+"""Tests for ring-allreduce multi-flow jobs and the PFC switch model."""
+
+import numpy as np
+import pytest
+
+from repro.cc.dcqcn import DcqcnFluidSimulator, DcqcnParams
+from repro.cc.fair import FairSharing
+from repro.cc.weighted import StaticWeighted
+from repro.errors import ConfigError
+from repro.net.phasesim import PhaseLevelSimulator
+from repro.net.topology import Topology
+from repro.units import gbps, kib, ms
+from repro.workloads.job import JobSpec
+
+CAP = gbps(42)
+
+
+def _leaf_spine(n_racks=3):
+    return Topology.leaf_spine(
+        n_racks=n_racks, hosts_per_rack=2, n_spines=1,
+        host_capacity=CAP, uplink_capacity=CAP,
+    )
+
+
+class TestRingJobs:
+    def test_solo_ring_runs_at_full_rate(self):
+        sim = PhaseLevelSimulator(_leaf_spine(), FairSharing())
+        spec = JobSpec("ring", ms(100), ms(50) * CAP, n_workers=3)
+        run = sim.add_ring_job(
+            spec, ["h0_0", "h1_0", "h2_0"], n_iterations=4
+        )
+        result = sim.run()
+        assert len(run.flows) == 3
+        np.testing.assert_allclose(
+            result.iteration_times("ring"), ms(150), rtol=1e-9
+        )
+
+    def test_ring_advances_at_slowest_hop(self):
+        # A narrow uplink on one hop throttles the whole collective.
+        topo = Topology.leaf_spine(
+            n_racks=2, hosts_per_rack=2, n_spines=1,
+            host_capacity=CAP, uplink_capacity=CAP,
+        )
+        # Shrink one direction of rack 1's uplink to half capacity.
+        narrow = topo.link("tor1", "spine0")
+        narrow.capacity = CAP / 2
+        sim = PhaseLevelSimulator(topo, FairSharing())
+        spec = JobSpec("ring", ms(100), ms(50) * CAP, n_workers=2)
+        sim.add_ring_job(spec, ["h0_0", "h1_0"], n_iterations=3)
+        result = sim.run()
+        # The h1->h0 hop is capped at CAP/2, so comm takes 100 ms.
+        np.testing.assert_allclose(
+            result.iteration_times("ring"), ms(200), rtol=1e-9
+        )
+
+    def test_two_rings_share_the_common_uplink(self):
+        sim = PhaseLevelSimulator(_leaf_spine(2), FairSharing())
+        a = JobSpec("ra", ms(100), ms(50) * CAP, n_workers=2)
+        b = JobSpec("rb", ms(100), ms(50) * CAP, n_workers=2)
+        sim.add_ring_job(a, ["h0_0", "h1_0"], n_iterations=6)
+        sim.add_ring_job(b, ["h0_1", "h1_1"], n_iterations=6)
+        result = sim.run()
+        for job in ("ra", "rb"):
+            np.testing.assert_allclose(
+                result.iteration_times(job), ms(200), rtol=1e-9
+            )
+
+    def test_unfairness_interleaves_ring_jobs_too(self):
+        def build(policy):
+            sim = PhaseLevelSimulator(_leaf_spine(2), policy)
+            a = JobSpec("ra", ms(210), ms(90) * CAP, n_workers=2)
+            b = JobSpec("rb", ms(210), ms(90) * CAP, n_workers=2)
+            sim.add_ring_job(a, ["h0_0", "h1_0"], n_iterations=25)
+            sim.add_ring_job(b, ["h0_1", "h1_1"], n_iterations=25)
+            return sim.run()
+
+        fair = build(FairSharing())
+        unfair = build(
+            StaticWeighted.from_aggressiveness_order(["ra", "rb"])
+        )
+        for job in ("ra", "rb"):
+            assert unfair.mean_iteration_time(job, skip=10) < (
+                fair.mean_iteration_time(job, skip=10)
+            )
+        # Steady state reaches solo speed (compatible pair).
+        assert unfair.mean_iteration_time("ra", skip=15) == pytest.approx(
+            ms(300), rel=0.02
+        )
+
+    def test_ring_bytes_conserved(self):
+        sim = PhaseLevelSimulator(_leaf_spine(), FairSharing())
+        spec = JobSpec("ring", ms(100), ms(50) * CAP, n_workers=3)
+        run = sim.add_ring_job(
+            spec, ["h0_0", "h1_0", "h2_0"], n_iterations=3
+        )
+        result = sim.run()
+        for record in run.records:
+            moved = run.rate_trace.integrate(record.comm_start, record.end)
+            assert moved == pytest.approx(spec.comm_bytes, rel=1e-6)
+
+    def test_ring_needs_two_distinct_hosts(self):
+        sim = PhaseLevelSimulator(_leaf_spine(), FairSharing())
+        spec = JobSpec("ring", ms(100), ms(50) * CAP)
+        with pytest.raises(ConfigError):
+            sim.add_ring_job(spec, ["h0_0"], n_iterations=1)
+        with pytest.raises(ConfigError):
+            sim.add_ring_job(spec, ["h0_0", "h0_0"], n_iterations=1)
+
+    def test_same_host_pairs_skipped(self):
+        sim = PhaseLevelSimulator(_leaf_spine(), FairSharing())
+        spec = JobSpec("ring", ms(100), ms(50) * CAP)
+        run = sim.add_ring_job(
+            spec, ["h0_0", "h0_0", "h1_0"], n_iterations=1
+        )
+        # h0_0 -> h0_0 skipped; h0_0 -> h1_0 and h1_0 -> h0_0 remain.
+        assert len(run.flows) == 2
+
+
+class TestPfc:
+    def _sim(self, **kwargs):
+        sim = DcqcnFluidSimulator(
+            capacity=gbps(50),
+            pfc_pause_threshold=kib(600),
+            **kwargs,
+        )
+        params = DcqcnParams()
+        sim.add_sender("a", params, np.random.default_rng(1))
+        sim.add_sender("b", params, np.random.default_rng(2))
+        return sim
+
+    def test_queue_bounded_by_pause_threshold(self):
+        sim = self._sim()
+        result = sim.run(0.05)
+        # One step of headroom: both senders at line rate for dt.
+        headroom = 2 * gbps(50) * sim.dt
+        assert result.queue_series.values.max() <= kib(600) + headroom
+
+    def test_pause_time_accounted(self):
+        sim = self._sim()
+        sim.run(0.05)
+        assert sim.pfc_pause_seconds >= 0.0
+
+    def test_dcqcn_keeps_pfc_mostly_idle(self):
+        # DCQCN's job: ECN kicks in well below the PFC threshold, so
+        # pauses should be a tiny fraction of the run.
+        sim = self._sim()
+        sim.run(0.1)
+        assert sim.pfc_pause_seconds < 0.01
+
+    def test_without_dcqcn_reaction_pfc_fires(self):
+        # Disable marking (no CNPs): senders stay at line rate and the
+        # lossless fabric must pause.
+        from repro.switches.ecn import RedEcnMarker
+
+        sim = DcqcnFluidSimulator(
+            capacity=gbps(50),
+            marker=RedEcnMarker(kmin=1e12, kmax=2e12, pmax=0.001),
+            pfc_pause_threshold=kib(600),
+        )
+        params = DcqcnParams()
+        sim.add_sender("a", params, np.random.default_rng(1))
+        sim.add_sender("b", params, np.random.default_rng(2))
+        sim.run(0.05)
+        assert sim.pfc_pause_seconds > 0.005
+
+    def test_resume_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            DcqcnFluidSimulator(
+                pfc_pause_threshold=kib(100),
+                pfc_resume_threshold=kib(200),
+            )
+        with pytest.raises(ConfigError):
+            DcqcnFluidSimulator(pfc_pause_threshold=0.0)
+
+    def test_default_resume_is_half_pause(self):
+        sim = DcqcnFluidSimulator(pfc_pause_threshold=kib(400))
+        assert sim.pfc_resume_threshold == pytest.approx(kib(200))
+
+    def test_pfc_disabled_by_default(self):
+        sim = DcqcnFluidSimulator()
+        assert sim.pfc_pause_threshold is None
+        params = DcqcnParams()
+        sim.add_sender("a", params, np.random.default_rng(1))
+        sim.run(0.01)
+        assert sim.pfc_pause_seconds == 0.0

@@ -1,0 +1,104 @@
+"""Event-queue tests: ordering, cancellation, the executed-event guard."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+def _noop():
+    pass
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, fired.append, ("b",))
+        q.push(1.0, fired.append, ("a",))
+        q.push(3.0, fired.append, ("c",))
+        while q:
+            e = q.pop()
+            e.fn(*e.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_at_equal_time(self):
+        q = EventQueue()
+        first = q.push(1.0, _noop)
+        second = q.push(1.0, _noop)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        low = q.push(1.0, _noop, priority=1)
+        high = q.push(1.0, _noop, priority=0)
+        assert q.pop() is high
+        assert q.pop() is low
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        victim = q.push(1.0, _noop)
+        survivor = q.push(2.0, _noop)
+        q.cancel(victim)
+        assert len(q) == 1
+        assert q.pop() is survivor
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        victim = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        q.cancel(victim)
+        q.cancel(victim)
+        assert len(q) == 1
+
+    def test_cancel_executed_event_is_noop(self):
+        # Regression: cancelling a stale (already-fired) handle must not
+        # corrupt the live count and drain the queue early.
+        q = EventQueue()
+        first = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert q.pop() is first
+        q.cancel(first)
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        victim = q.push(1.0, _noop)
+        q.push(5.0, _noop)
+        q.cancel(victim)
+        assert q.peek_time() == 5.0
+
+
+class TestEdgeCases:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_bool_reflects_live_events(self):
+        q = EventQueue()
+        assert not q
+        event = q.push(1.0, _noop)
+        assert q
+        q.cancel(event)
+        assert not q
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+    def test_event_repr_mentions_state(self):
+        event = Event(1.0, 0, 0, _noop, ())
+        assert "pending" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)

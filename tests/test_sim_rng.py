@@ -1,0 +1,51 @@
+"""Random-stream tests: determinism and independence."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).get("x").random(5)
+        b = RandomStreams(42).get("x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(42)
+        a = streams.get("x").random(5)
+        b = streams.get("y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("x").random(5)
+        b = RandomStreams(2).get("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_get_returns_same_generator(self):
+        streams = RandomStreams(0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        lone = RandomStreams(7)
+        seq_alone = lone.get("a").random(4)
+
+        crowded = RandomStreams(7)
+        crowded.get("z")  # extra stream created first
+        seq_crowded = crowded.get("a").random(4)
+        np.testing.assert_array_equal(seq_alone, seq_crowded)
+
+
+class TestSpawn:
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(5).spawn("child").get("s").random(3)
+        b = RandomStreams(5).spawn("child").get("s").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_differs_from_parent(self):
+        parent = RandomStreams(5)
+        child = parent.spawn("child")
+        assert parent.seed != child.seed
+
+    def test_seed_property(self):
+        assert RandomStreams(9).seed == 9

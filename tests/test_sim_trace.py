@@ -1,0 +1,120 @@
+"""TimeSeries and StepFunction tests, including exact integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace import StepFunction, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ts) == 2
+
+    def test_arrays(self):
+        ts = TimeSeries()
+        ts.record(0.5, 3.0)
+        np.testing.assert_allclose(ts.times, [0.5])
+        np.testing.assert_allclose(ts.values, [3.0])
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries()
+        ts.record(1.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.record(1.0, 1.0)
+        with pytest.raises(SimulationError):
+            ts.record(0.5, 2.0)
+
+
+class TestStepFunction:
+    def test_initial_value(self):
+        step = StepFunction(initial=7.0)
+        assert step.value_at(0.0) == 7.0
+        assert step.value_at(100.0) == 7.0
+
+    def test_right_continuity(self):
+        step = StepFunction(0.0)
+        step.set(1.0, 5.0)
+        assert step.value_at(0.999) == 0.0
+        assert step.value_at(1.0) == 5.0
+
+    def test_overwrite_at_same_time(self):
+        step = StepFunction(0.0)
+        step.set(1.0, 5.0)
+        step.set(1.0, 9.0)
+        assert step.value_at(1.0) == 9.0
+        assert len(step.breakpoints()) == 1
+
+    def test_noop_transitions_skipped(self):
+        step = StepFunction(0.0)
+        step.set(1.0, 0.0)
+        assert step.breakpoints() == []
+
+    def test_out_of_order_rejected(self):
+        step = StepFunction()
+        step.set(2.0, 1.0)
+        with pytest.raises(SimulationError):
+            step.set(1.0, 2.0)
+
+    def test_last_value(self):
+        step = StepFunction(1.0)
+        assert step.last_value() == 1.0
+        step.set(1.0, 4.0)
+        assert step.last_value() == 4.0
+
+    def test_sample(self):
+        step = StepFunction(0.0)
+        step.set(1.0, 2.0)
+        np.testing.assert_allclose(
+            step.sample([0.0, 0.5, 1.0, 2.0]), [0, 0, 2, 2]
+        )
+
+
+class TestIntegration:
+    def test_constant(self):
+        step = StepFunction(3.0)
+        assert step.integrate(0.0, 2.0) == pytest.approx(6.0)
+
+    def test_single_step(self):
+        step = StepFunction(0.0)
+        step.set(1.0, 10.0)
+        assert step.integrate(0.0, 2.0) == pytest.approx(10.0)
+
+    def test_window_inside_segment(self):
+        step = StepFunction(0.0)
+        step.set(1.0, 10.0)
+        step.set(3.0, 0.0)
+        assert step.integrate(1.5, 2.5) == pytest.approx(10.0)
+
+    def test_window_spanning_multiple_segments(self):
+        step = StepFunction(1.0)
+        step.set(1.0, 2.0)
+        step.set(2.0, 3.0)
+        # 1*1 + 2*1 + 3*1 over [0, 3]
+        assert step.integrate(0.0, 3.0) == pytest.approx(6.0)
+
+    def test_empty_window(self):
+        step = StepFunction(5.0)
+        assert step.integrate(1.0, 1.0) == 0.0
+
+    def test_reversed_window_rejected(self):
+        with pytest.raises(SimulationError):
+            StepFunction().integrate(2.0, 1.0)
+
+    def test_integral_equals_bytes_sent(self):
+        # A rate trace integrated over a phase equals the bytes moved —
+        # the invariant the phase simulator depends on.
+        rate = StepFunction(0.0)
+        rate.set(0.1, 100.0)
+        rate.set(0.3, 50.0)
+        rate.set(0.5, 0.0)
+        bytes_moved = rate.integrate(0.0, 1.0)
+        assert bytes_moved == pytest.approx(100 * 0.2 + 50 * 0.2)

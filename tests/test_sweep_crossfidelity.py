@@ -1,0 +1,72 @@
+"""Tests for the population sweep and the cross-fidelity experiment."""
+
+import pytest
+
+from repro.experiments import crossfidelity, sweep
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def equal_period_points(self):
+        return sweep.run(
+            fractions=(0.2, 0.45, 0.6), pairs_per_point=25, seed=1
+        )
+
+    def test_low_fraction_always_compatible(self, equal_period_points):
+        assert equal_period_points[0].compatible_rate == 1.0
+
+    def test_high_fraction_never_compatible(self, equal_period_points):
+        assert equal_period_points[-1].compatible_rate == 0.0
+
+    def test_payoff_grows_with_fraction(self, equal_period_points):
+        low, mid, _ = equal_period_points
+        assert mid.mean_speedup > low.mean_speedup
+
+    def test_payoff_matches_one_plus_fraction(self, equal_period_points):
+        # Equal-period pairs: fair lockstep C+2T over solo C+T is
+        # (1+2f)/(1+f)... but the sweep's interleave payoff is ~1+f.
+        low = equal_period_points[0]
+        assert low.mean_speedup == pytest.approx(1.2, abs=0.03)
+
+    def test_mixed_periods_rarely_compatible(self):
+        points = sweep.run(
+            fractions=(0.2, 0.4), pairs_per_point=25,
+            same_period=False, seed=2,
+        )
+        assert all(p.compatible_rate <= 0.2 for p in points)
+
+    def test_deterministic(self):
+        a = sweep.run(fractions=(0.3,), pairs_per_point=10, seed=3)
+        b = sweep.run(fractions=(0.3,), pairs_per_point=10, seed=3)
+        assert a[0].compatible_rate == b[0].compatible_rate
+        assert a[0].mean_speedup == b[0].mean_speedup
+
+    def test_report_renders(self, equal_period_points):
+        text = sweep.report(equal_period_points)
+        assert "comm fraction" in text
+
+
+class TestCrossFidelity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Shorter horizon than the bench but enough for ~8 iterations.
+        return crossfidelity.run(duration=1.6, skip=2)
+
+    def test_both_jobs_speed_up(self, result):
+        for job in ("J1", "J2"):
+            assert result.speedup(job) > 1.05, job
+
+    def test_iterations_observed(self, result):
+        for job in ("J1", "J2"):
+            assert result.iterations[job] >= 5
+
+    def test_unfair_mean_beats_phase_model_fair(self, result):
+        # Even the fine model's unfair times beat the phase model's
+        # fully-locked fair value of 320 ms by a wide margin.
+        for job in ("J1", "J2"):
+            assert result.unfair_ms[job] < 280
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "Cross-fidelity" in text
+        assert "speedup" in text

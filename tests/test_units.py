@@ -1,0 +1,83 @@
+"""Unit-conversion tests: the factor-of-8 and factor-of-1000 guards."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro import units
+
+
+class TestTimeConversions:
+    def test_seconds_identity(self):
+        assert units.seconds(2.5) == 2.5
+
+    def test_milliseconds(self):
+        assert units.milliseconds(250) == pytest.approx(0.25)
+
+    def test_microseconds(self):
+        assert units.microseconds(125) == pytest.approx(125e-6)
+
+    def test_ms_alias(self):
+        assert units.ms(100) == units.milliseconds(100)
+
+    def test_us_alias(self):
+        assert units.us(55) == units.microseconds(55)
+
+    def test_to_milliseconds_roundtrip(self):
+        assert units.to_milliseconds(units.ms(297)) == pytest.approx(297)
+
+    def test_to_microseconds_roundtrip(self):
+        assert units.to_microseconds(units.us(125)) == pytest.approx(125)
+
+
+class TestTicks:
+    def test_one_second_is_a_million_ticks(self):
+        assert units.seconds_to_ticks(1.0) == 1_000_000
+
+    def test_rounds_to_nearest(self):
+        assert units.seconds_to_ticks(1.4e-6) == 1
+        assert units.seconds_to_ticks(1.6e-6) == 2
+
+    def test_zero(self):
+        assert units.seconds_to_ticks(0.0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            units.seconds_to_ticks(-1e-3)
+
+    def test_roundtrip(self):
+        assert units.ticks_to_seconds(
+            units.seconds_to_ticks(0.255)
+        ) == pytest.approx(0.255)
+
+
+class TestRates:
+    def test_gbps_factor_of_8(self):
+        # 8 Gbps = 1 GB/s
+        assert units.gbps(8) == pytest.approx(1e9)
+
+    def test_mbps(self):
+        assert units.mbps(400) == pytest.approx(50e6)
+
+    def test_to_gbps_roundtrip(self):
+        assert units.to_gbps(units.gbps(42)) == pytest.approx(42)
+
+    def test_50gbps_nic(self):
+        # The paper's ConnectX-5 NIC: 50 Gbps = 6.25 GB/s.
+        assert units.gbps(50) == pytest.approx(6.25e9)
+
+
+class TestSizes:
+    def test_kib(self):
+        assert units.kib(1) == 1024
+
+    def test_mib(self):
+        assert units.mib(1) == 1024 ** 2
+
+    def test_gib(self):
+        assert units.gib(1) == 1024 ** 3
+
+    def test_megabytes_decimal(self):
+        assert units.megabytes(1) == 1e6
+
+    def test_to_megabytes_roundtrip(self):
+        assert units.to_megabytes(units.megabytes(550)) == pytest.approx(550)
