@@ -92,7 +92,15 @@ from .mechanisms import (
     DeploymentPlan,
     Mechanism,
 )
-from .io import load_workload, save_workload
+from .telemetry import (
+    Telemetry,
+    TraceRecord,
+    Registry,
+)
+from .telemetry import NULL as NULL_TELEMETRY
+from .telemetry import current as current_telemetry
+from .telemetry import use as use_telemetry
+from .io import load_workload, save_workload, load_trace, save_trace
 from .scheduler import (
     ClusterState,
     PlacedJob,
@@ -138,8 +146,11 @@ __all__ = [
     "adaptive_policy", "timer_skew_policy", "aggressiveness_policy",
     "PriorityAssigner", "PeriodicGate", "FlowSchedule",
     "CongestionFreeController", "DeploymentPlan", "Mechanism",
+    # telemetry
+    "Telemetry", "TraceRecord", "Registry", "NULL_TELEMETRY",
+    "current_telemetry", "use_telemetry",
     # io
-    "load_workload", "save_workload",
+    "load_workload", "save_workload", "load_trace", "save_trace",
     # scheduler
     "ClusterState", "PlacedJob", "RandomPlacement",
     "ConsolidatedPlacement", "CompatibilityAwarePlacement",

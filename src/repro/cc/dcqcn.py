@@ -35,6 +35,8 @@ from ..errors import ConfigError, SimulationError
 from ..sim.trace import TimeSeries
 from ..switches.ecn import RedEcnMarker
 from ..switches.queues import FluidQueue
+from ..telemetry import session as _telemetry_session
+from ..telemetry.trace import KIND_CC_RATE
 from ..units import gbps, mbps
 
 #: Default rate-increase timer in the paper's testbed.
@@ -323,9 +325,11 @@ class DcqcnFluidSimulator:
         sample_interval: float = 250e-6,
         pfc_pause_threshold: Optional[float] = None,
         pfc_resume_threshold: Optional[float] = None,
+        telemetry: Optional["_telemetry_session.Telemetry"] = None,
     ) -> None:
         if dt <= 0 or sample_interval < dt:
             raise ConfigError("need dt > 0 and sample_interval >= dt")
+        self.telemetry = _telemetry_session.resolve(telemetry)
         self.capacity = capacity
         self.marker = marker if marker is not None else RedEcnMarker()
         self.dt = dt
@@ -389,10 +393,24 @@ class DcqcnFluidSimulator:
             self.queue.step(arrival / self.dt if self.dt > 0 else 0.0, self.dt)
             now += self.dt
             if step_index % samples_every == 0:
+                record_trace = self.telemetry.enabled
                 for sender in self.senders:
                     rate = 0.0 if sender.done else sender.rate
                     result.rate_series[sender.name].record(now, rate)
+                    if record_trace:
+                        self.telemetry.event(
+                            KIND_CC_RATE,
+                            t=now,
+                            sender=sender.name,
+                            rate=rate,
+                        )
                 result.queue_series.record(now, self.queue.occupancy)
+        if self.telemetry.enabled:
+            steps_counter = self.telemetry.counter("cc.steps")
+            steps_counter.inc(steps)
+            cnp_counter = self.telemetry.counter("cc.cnps")
+            for sender in self.senders:
+                cnp_counter.inc(getattr(sender, "cnps_received", 0))
         return result
 
     def _update_pfc(self) -> None:

@@ -7,14 +7,25 @@
     repro-experiments run all
 
 Equivalent module form: ``python -m repro.cli run figure2``.
+
+Every ``run`` records telemetry — a JSONL simulation-event trace plus a
+JSON manifest of counters and wall-clock span timings — into a fresh
+directory under ``runs/`` (override with ``--runs-dir`` or the
+``REPRO_RUNS_DIR`` environment variable; disable with ``--no-record``).
+Recorded runs are inspected with::
+
+    repro-experiments stats figure1          # latest figure1 run
+    repro-experiments trace figure1 --kind job.iteration --limit 20
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from .errors import ReproError
 from .experiments import (
     ablations,
     crossfidelity,
@@ -28,6 +39,13 @@ from .experiments import (
     scheduler_exp,
     sweep,
     table1,
+)
+from .telemetry.runs import (
+    DEFAULT_RUNS_DIR,
+    RunRecorder,
+    resolve_run,
+    stats_report,
+    trace_report,
 )
 
 #: Artifact name -> (description, runner).
@@ -55,6 +73,11 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], None]]] = {
 }
 
 
+def default_runs_dir() -> str:
+    """Where recorded runs land (``REPRO_RUNS_DIR`` overrides)."""
+    return os.environ.get("REPRO_RUNS_DIR", DEFAULT_RUNS_DIR)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -66,13 +89,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list available artifacts")
+
     run = subparsers.add_parser("run", help="run one artifact (or 'all')")
     run.add_argument(
         "artifact",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which artifact to regenerate",
     )
+    run.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip telemetry recording (no run directory is written)",
+    )
+    run.add_argument(
+        "--runs-dir",
+        default=None,
+        help="directory for recorded runs (default: $REPRO_RUNS_DIR or "
+        f"'{DEFAULT_RUNS_DIR}')",
+    )
+
+    stats = subparsers.add_parser(
+        "stats", help="summarize a recorded run (events, bytes, spans)"
+    )
+    stats.add_argument(
+        "run",
+        help="run directory, run name, or artifact name (latest run)",
+    )
+    stats.add_argument("--runs-dir", default=None, help=argparse.SUPPRESS)
+
+    trace = subparsers.add_parser(
+        "trace", help="print a recorded run's event trace"
+    )
+    trace.add_argument(
+        "run",
+        help="run directory, run name, or artifact name (latest run)",
+    )
+    trace.add_argument(
+        "--kind", default=None, help="only records of this kind"
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        help="max records to print (0 = all, default 50)",
+    )
+    trace.add_argument("--runs-dir", default=None, help=argparse.SUPPRESS)
     return parser
+
+
+def _run_artifact(name: str, record: bool, runs_dir: str) -> None:
+    runner = EXPERIMENTS[name][1]
+    if not record:
+        runner()
+        return
+    with RunRecorder(name, runs_dir=runs_dir) as recorder:
+        runner()
+    assert recorder.run_dir is not None
+    print(
+        f"\ntelemetry: {len(recorder.telemetry.trace)} events recorded"
+        f" -> {recorder.run_dir}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,12 +160,30 @@ def main(argv: list[str] | None = None) -> int:
             description, _ = EXPERIMENTS[name]
             print(f"{name.ljust(width)}  {description}")
         return 0
-    if args.artifact == "all":
-        for name in sorted(EXPERIMENTS):
-            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-            EXPERIMENTS[name][1]()
+
+    runs_dir: Optional[str] = getattr(args, "runs_dir", None)
+    if runs_dir is None:
+        runs_dir = default_runs_dir()
+
+    if args.command == "run":
+        record = not args.no_record
+        if args.artifact == "all":
+            for name in sorted(EXPERIMENTS):
+                print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+                _run_artifact(name, record, runs_dir)
+            return 0
+        _run_artifact(args.artifact, record, runs_dir)
         return 0
-    EXPERIMENTS[args.artifact][1]()
+
+    try:
+        run_dir = resolve_run(args.run, runs_dir=runs_dir)
+        if args.command == "stats":
+            print(stats_report(run_dir))
+        else:
+            print(trace_report(run_dir, kind=args.kind, limit=args.limit))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

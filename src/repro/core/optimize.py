@@ -638,7 +638,38 @@ def solve(
     (capacity 1) -> boundary DFS -> complete DFS (when affordable) ->
     annealing. The outcome's ``complete`` flag records whether a negative
     answer is proven.
+
+    Each invocation runs under a ``solve_rotations`` telemetry span and
+    reports its outcome (method, nodes, verdict) to the ambient session.
     """
+    from ..telemetry.session import current
+    from ..telemetry.trace import KIND_SOLVE
+
+    telemetry = current()
+    with telemetry.span("solve_rotations"):
+        outcome = _solve(circles, capacity=capacity, method=method, seed=seed)
+    if telemetry.enabled:
+        telemetry.counter("solve.calls").inc()
+        telemetry.counter("solve.nodes").inc(outcome.nodes)
+        telemetry.event(
+            KIND_SOLVE,
+            t=0.0,
+            method=outcome.method,
+            found=outcome.found,
+            complete=outcome.complete,
+            overlap=outcome.overlap,
+            nodes=outcome.nodes,
+            jobs=len(circles),
+        )
+    return outcome
+
+
+def _solve(
+    circles: Sequence[JobCircle],
+    capacity: int,
+    method: str,
+    seed: int,
+) -> SolverOutcome:
     if not circles:
         raise CompatibilityError("no circles given")
     if capacity < 1:

@@ -12,11 +12,11 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.report import ascii_table
+from ..telemetry import Telemetry, current
 from ..cc.adaptive import AdaptiveUnfair
 from ..cc.fair import FairSharing
 from ..core.circle import JobCircle
@@ -220,7 +220,11 @@ def solver_instances() -> Dict[str, List[JobCircle]]:
 def solver_comparison(
     instances: Optional[Dict[str, List[JobCircle]]] = None,
 ) -> List[SolverRun]:
-    """Run every solver on every instance and time them."""
+    """Run every solver on every instance and time them.
+
+    Each solver call runs under a ``solver.<name>`` telemetry span, so a
+    recorded ``ablations`` run carries the timings in its manifest.
+    """
     instances = instances or solver_instances()
     solvers = [
         ("backtracking", lambda c: backtracking_search(c)),
@@ -228,12 +232,15 @@ def solver_comparison(
         ("annealing", lambda c: annealing_search(c, seed=1)),
         ("grid-36", lambda c: exhaustive_search(c, steps_per_job=36)),
     ]
+    telemetry = current()
+    if not telemetry.enabled:
+        # No recording session: still time the solvers, just locally.
+        telemetry = Telemetry("solver-comparison")
     runs: List[SolverRun] = []
     for instance_name, circles in instances.items():
         for solver_name, solver in solvers:
-            start = time.perf_counter()
-            outcome: SolverOutcome = solver(circles)
-            elapsed = time.perf_counter() - start
+            with telemetry.span(f"solver.{solver_name}") as span:
+                outcome: SolverOutcome = solver(circles)
             runs.append(
                 SolverRun(
                     instance=instance_name,
@@ -241,7 +248,7 @@ def solver_comparison(
                     found=outcome.found,
                     overlap=outcome.overlap,
                     nodes=outcome.nodes,
-                    seconds=elapsed,
+                    seconds=span.duration,
                 )
             )
     return runs
@@ -357,24 +364,26 @@ def clock_skew_report(points: Sequence[ClockSkewPoint]) -> str:
 
 def main() -> None:
     """Print all ablations."""
-    print(adaptive_cc_report(adaptive_cc_experiment()))
-    print()
-    rows = [
-        (p.steps_per_job, "yes" if p.found else "no", p.overlap,
-         p.evaluations)
-        for p in sector_sensitivity()
-    ]
-    print(
-        ascii_table(
-            ["sectors/job", "found", "overlap", "evaluations"],
-            rows,
-            title="Sector-count sensitivity of the discretized formulation",
+    with current().span("experiment.ablations"):
+        print(adaptive_cc_report(adaptive_cc_experiment()))
+        print()
+        rows = [
+            (p.steps_per_job, "yes" if p.found else "no", p.overlap,
+             p.evaluations)
+            for p in sector_sensitivity()
+        ]
+        print(
+            ascii_table(
+                ["sectors/job", "found", "overlap", "evaluations"],
+                rows,
+                title="Sector-count sensitivity of the discretized "
+                "formulation",
+            )
         )
-    )
-    print()
-    print(solver_report(solver_comparison()))
-    print()
-    print(clock_skew_report(clock_skew_experiment()))
+        print()
+        print(solver_report(solver_comparison()))
+        print()
+        print(clock_skew_report(clock_skew_experiment()))
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from ..cc.base import SharePolicy
 from ..errors import ConfigError
 from ..net.phasesim import Gate, PhaseLevelSimulator, SimulationResult
 from ..net.topology import Topology
+from ..telemetry import Telemetry
 from ..workloads.job import JobSpec
 from ..workloads.profiles import EFFECTIVE_BOTTLENECK
 
@@ -49,15 +50,18 @@ def run_jobs(
     gates: Optional[Mapping[str, Gate]] = None,
     seed: int = 0,
     until: Optional[float] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SimulationResult:
     """Run ``specs`` across the dumbbell bottleneck under ``policy``.
 
     Job ``i`` sends from ``ha{i}`` to ``hb{i}``; all flows share ``L1``.
+    ``telemetry`` defaults to the ambient session, so experiments record
+    automatically when run under ``repro-experiments run``.
     """
     if not specs:
         raise ConfigError("no job specs given")
     topology = dumbbell_for(len(specs), capacity)
-    sim = PhaseLevelSimulator(topology, policy, seed=seed)
+    sim = PhaseLevelSimulator(topology, policy, seed=seed, telemetry=telemetry)
     start_offsets = start_offsets or {}
     gates = gates or {}
     for index, spec in enumerate(specs):

@@ -16,6 +16,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..cc.dcqcn import (
     AGGRESSIVE_TIMER,
@@ -117,7 +118,8 @@ def run(
 
 def main() -> None:
     """Print the cross-fidelity comparison."""
-    print(run().report())
+    with current().span("experiment.crossfidelity"):
+        print(run().report())
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..core.circle import JobCircle
 from ..core.cluster_compat import (
@@ -229,13 +230,14 @@ def scaling_frontier_report() -> str:
 
 def main() -> None:
     """Print all §5 extension experiments."""
-    print(cluster_level_experiment().report())
-    print()
-    print(multi_tenancy_experiment().report())
-    print()
-    print(tuning_experiment().report())
-    print()
-    print(scaling_frontier_report())
+    with current().span("experiment.extensions"):
+        print(cluster_level_experiment().report())
+        print()
+        print(multi_tenancy_experiment().report())
+        print()
+        print(tuning_experiment().report())
+        print()
+        print(scaling_frontier_report())
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..telemetry import current
 from ..cc.dcqcn import (
     AGGRESSIVE_TIMER,
     DEFAULT_TIMER,
@@ -180,11 +181,12 @@ def cdf_experiment(
 
 def main() -> None:
     """Print the full Figure 1 reproduction."""
-    bandwidth = bandwidth_experiment()
-    print(bandwidth.table())
-    print()
-    cdf = cdf_experiment()
-    print(cdf.report())
+    with current().span("experiment.figure1"):
+        bandwidth = bandwidth_experiment()
+        print(bandwidth.table())
+        print()
+        cdf = cdf_experiment()
+        print(cdf.report())
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..telemetry import current
 from ..analysis.report import ascii_table, ascii_timeline
 from ..analysis.timeseries import utilization_series
 from ..cc.fair import FairSharing
@@ -165,7 +166,8 @@ def run(
 
 def main() -> None:
     """Print the Figure 2 reproduction."""
-    print(run().report())
+    with current().span("experiment.figure2"):
+        print(run().report())
 
 
 if __name__ == "__main__":

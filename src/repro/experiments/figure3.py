@@ -14,6 +14,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..core.circle import JobCircle
 from ..sim.trace import StepFunction
@@ -109,7 +110,8 @@ def run(n_iterations: int = 5) -> Figure3Result:
 
 def main() -> None:
     """Print the Figure 3 reproduction."""
-    print(run().report())
+    with current().span("experiment.figure3"):
+        print(run().report())
 
 
 if __name__ == "__main__":

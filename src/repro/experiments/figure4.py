@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..core.circle import JobCircle
 from ..core.compatibility import CompatibilityChecker, CompatibilityResult
@@ -83,7 +84,8 @@ def run(
 
 def main() -> None:
     """Print the Figure 4 reproduction."""
-    print(run().report())
+    with current().span("experiment.figure4"):
+        print(run().report())
 
 
 if __name__ == "__main__":

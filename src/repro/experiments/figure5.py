@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..core.circle import JobCircle
 from ..core.compatibility import CompatibilityChecker, CompatibilityResult
@@ -110,7 +111,8 @@ def run(comm_1: int = 10, comm_2: int = 10) -> Figure5Result:
 
 def main() -> None:
     """Print the Figure 5 reproduction."""
-    print(run().report())
+    with current().span("experiment.figure5"):
+        print(run().report())
 
 
 if __name__ == "__main__":

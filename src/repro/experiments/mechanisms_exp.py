@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..cc.adaptive import AdaptiveUnfair
 from ..cc.base import SharePolicy
@@ -159,7 +160,8 @@ def report(outcomes: Sequence[MechanismOutcome]) -> str:
 
 def main() -> None:
     """Print the mechanisms comparison."""
-    print(report(run()))
+    with current().span("experiment.mechanisms"):
+        print(report(run()))
 
 
 if __name__ == "__main__":

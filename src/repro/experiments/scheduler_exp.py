@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..cc.adaptive import AdaptiveUnfair
 from ..net.routing import Router
@@ -286,13 +287,14 @@ def report(outcomes: Sequence[PolicyOutcome]) -> str:
 
 def main() -> None:
     """Print the scheduler comparisons (newcomer scenario + large scale)."""
-    print(report(run_policies()))
-    print()
-    large = report(run_large_scale())
-    print(large.replace(
-        "S4 placement — compatibility-aware vs locality-only",
-        "S4 placement at scale — 7 jobs on 10 racks",
-    ).replace("newcomer racks", "jobs placed  "))
+    with current().span("experiment.scheduler"):
+        print(report(run_policies()))
+        print()
+        large = report(run_large_scale())
+        print(large.replace(
+            "S4 placement — compatibility-aware vs locality-only",
+            "S4 placement at scale — 7 jobs on 10 racks",
+        ).replace("newcomer racks", "jobs placed  "))
 
 
 if __name__ == "__main__":

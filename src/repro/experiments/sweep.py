@@ -22,6 +22,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..core.circle import JobCircle
 from ..core.optimize import exact_pair_feasible_rotations
@@ -126,10 +127,11 @@ def report(points: Sequence[SweepPoint]) -> str:
 
 def main() -> None:
     """Print the sweep for equal and mixed periods."""
-    print(report(run(same_period=True)))
-    print()
-    mixed = run(same_period=False)
-    print(report(mixed).replace("equal-period", "mixed-period"))
+    with current().span("experiment.sweep"):
+        print(report(run(same_period=True)))
+        print()
+        mixed = run(same_period=False)
+        print(report(mixed).replace("equal-period", "mixed-period"))
 
 
 if __name__ == "__main__":

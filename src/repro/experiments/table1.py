@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..cc.fair import FairSharing
 from ..cc.weighted import StaticWeighted
@@ -137,7 +138,8 @@ def report(results: List[Table1GroupResult]) -> str:
 
 def main() -> None:
     """Print the Table 1 reproduction."""
-    print(report(run_all()))
+    with current().span("experiment.table1"):
+        print(report(run_all()))
 
 
 if __name__ == "__main__":

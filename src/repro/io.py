@@ -1,9 +1,11 @@
-"""JSON serialization for workloads, circles and results.
+"""JSON serialization for workloads, circles, results and telemetry.
 
 Lets operators exchange profiled workloads and verdicts between tools:
 job specs and circles round-trip losslessly (circles are integer data);
 compatibility results serialize with their certificates so a deployment
-can re-verify them before trusting them.
+can re-verify them before trusting them. Telemetry traces round-trip as
+JSONL (one record per line) so recorded runs can be summarized, diffed
+and replayed by the ``repro-experiments stats`` / ``trace`` commands.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from typing import Any, Dict, List, Sequence, Union
 from .core.circle import JobCircle
 from .core.compatibility import CompatibilityResult
 from .errors import ConfigError
+from .telemetry.trace import TraceRecord
 from .workloads.job import JobSpec
 
 #: Format tag embedded in every document.
@@ -157,6 +160,90 @@ def load_workload(path: Union[str, Path]) -> List[JobSpec]:
     if "jobs" not in document:
         raise ConfigError("workload file has no 'jobs' field")
     return [job_spec_from_dict(entry) for entry in document["jobs"]]
+
+
+# ---------------------------------------------------------------------------
+# Telemetry traces (JSONL) and run manifests
+# ---------------------------------------------------------------------------
+
+def trace_to_jsonl(records: Sequence[TraceRecord]) -> str:
+    """Serialize trace records to JSONL text.
+
+    The first line is a header carrying the format version; each further
+    line is one record. Keys are sorted and separators fixed so that two
+    identical traces serialize to byte-identical text — the determinism
+    tests depend on this.
+    """
+    lines = [
+        json.dumps(
+            {"type": "trace", "version": FORMAT_VERSION},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    for record in records:
+        lines.append(
+            json.dumps(
+                record.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_jsonl(text: str) -> List[TraceRecord]:
+    """Inverse of :func:`trace_to_jsonl`.
+
+    Raises:
+        ConfigError: on a missing/invalid header or a malformed record.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ConfigError("empty trace document")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"bad trace header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("type") != "trace":
+        raise ConfigError("trace document has no trace header line")
+    _check_version(header)
+    records: List[TraceRecord] = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            records.append(TraceRecord.from_dict(json.loads(line)))
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"trace line {number} is not valid JSON: {exc}"
+            ) from exc
+    return records
+
+
+def save_trace(
+    records: Sequence[TraceRecord], path: Union[str, Path]
+) -> None:
+    """Write trace records to a JSONL file."""
+    Path(path).write_text(trace_to_jsonl(records))
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read trace records from a JSONL file."""
+    return trace_from_jsonl(Path(path).read_text())
+
+
+def save_manifest(data: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Write a run manifest (adds the format version)."""
+    document = {"version": FORMAT_VERSION, **data}
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a run manifest.
+
+    Raises:
+        ConfigError: on an unknown format version.
+    """
+    document = json.loads(Path(path).read_text())
+    _check_version(document)
+    return document
 
 
 def _check_version(data: Dict[str, Any]) -> None:

@@ -26,6 +26,13 @@ from ..errors import ConfigError, SimulationError, WorkloadError
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import StepFunction
+from ..telemetry import session as _telemetry_session
+from ..telemetry.trace import (
+    KIND_COMM,
+    KIND_ITERATION,
+    KIND_PHASE,
+    KIND_RATE,
+)
 from ..workloads.job import JobSpec
 from .flows import Flow
 from .fluid import FluidAllocator
@@ -188,13 +195,24 @@ class PhaseLevelSimulator:
         router: Optional[Router] = None,
         allocator: Optional[FluidAllocator] = None,
         seed: int = 0,
+        telemetry: Optional["_telemetry_session.Telemetry"] = None,
     ) -> None:
         self.topology = topology
         self.policy = policy
         self.router = router if router is not None else Router(topology)
         self.allocator = allocator if allocator is not None else FluidAllocator()
         self._streams = RandomStreams(seed)
-        self._sim = Simulator()
+        self.telemetry = _telemetry_session.resolve(telemetry)
+        self._sim = Simulator(telemetry=self.telemetry)
+        self._realloc_counter = self.telemetry.counter(
+            "phasesim.reallocations"
+        )
+        self._iteration_counter = self.telemetry.counter(
+            "phasesim.iterations"
+        )
+        self._iteration_histogram = self.telemetry.histogram(
+            "phasesim.iteration_seconds"
+        )
         self._jobs: List[JobRun] = []
         self._active: List[JobRun] = []
         self._rates: Dict[JobRun, float] = {}
@@ -336,6 +354,14 @@ class PhaseLevelSimulator:
         run.iteration_start = self._sim.now
         run.segment_index = 0
         run.compute_factor = run.sample_compute_factor()
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                KIND_PHASE,
+                t=self._sim.now,
+                job=run.job_id,
+                state=JobState.COMPUTE.value,
+                iteration=run.iterations_done,
+            )
         self._sim.schedule(
             run.segment_compute_time(), self._finish_compute, run
         )
@@ -350,6 +376,14 @@ class PhaseLevelSimulator:
                 )
             if allowed > now:
                 run.state = JobState.WAITING
+                if self.telemetry.enabled:
+                    self.telemetry.event(
+                        KIND_PHASE,
+                        t=now,
+                        job=run.job_id,
+                        state=JobState.WAITING.value,
+                        until=allowed,
+                    )
                 self._sim.schedule_at(allowed, self._begin_comm, run)
                 return
         self._begin_comm(run)
@@ -358,6 +392,14 @@ class PhaseLevelSimulator:
         run.state = JobState.COMM
         if run.segment_index == 0:
             run.comm_start = self._sim.now
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                KIND_PHASE,
+                t=self._sim.now,
+                job=run.job_id,
+                state=JobState.COMM.value,
+                segment=run.segment_index,
+            )
         run.comm_sent = 0.0
         for flow in run.flows:
             flow.progress = 0.0
@@ -378,6 +420,15 @@ class PhaseLevelSimulator:
         self._active.remove(run)
         self._rates.pop(run, None)
         run.rate_trace.set(now, 0.0)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                KIND_COMM,
+                t=now,
+                job=run.job_id,
+                flow=run.flow.flow_id,
+                segment=run.segment_index,
+                bytes=run.segment_comm_bytes(),
+            )
         if run.segment_index + 1 < run.n_segments:
             # More sub-phases this iteration (layer-wise allreduce).
             run.segment_index += 1
@@ -387,14 +438,24 @@ class PhaseLevelSimulator:
             )
             self._reallocate()
             return
-        run.records.append(
-            IterationRecord(
-                index=run.iterations_done,
-                start=run.iteration_start,
-                comm_start=run.comm_start,
-                end=now,
-            )
+        record = IterationRecord(
+            index=run.iterations_done,
+            start=run.iteration_start,
+            comm_start=run.comm_start,
+            end=now,
         )
+        run.records.append(record)
+        if self.telemetry.enabled:
+            self._iteration_counter.inc()
+            self._iteration_histogram.observe(record.duration)
+            self.telemetry.event(
+                KIND_ITERATION,
+                t=now,
+                job=run.job_id,
+                index=record.index,
+                duration=record.duration,
+                comm_duration=record.comm_duration,
+            )
         run.iterations_done += 1
         if run.iterations_done >= run.n_iterations:
             run.state = JobState.DONE
@@ -448,8 +509,17 @@ class PhaseLevelSimulator:
             allocation = self.allocator.allocate(flows)
 
         # Update rates and reschedule each active job's completion.
+        self._realloc_counter.inc()
         for run in self._active:
             rate = job_rate(run)
+            if self.telemetry.enabled and rate != self._rates.get(run):
+                self.telemetry.event(
+                    KIND_RATE,
+                    t=now,
+                    job=run.job_id,
+                    flow=run.flow.flow_id,
+                    rate=rate,
+                )
             self._rates[run] = rate
             run.rate_trace.set(now, rate)
             if run._finish_event is not None:

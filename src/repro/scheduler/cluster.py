@@ -18,6 +18,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..errors import PlacementError
 from ..net.routing import Router
 from ..net.topology import Link, Topology
+from ..telemetry import session as _telemetry_session
+from ..telemetry.trace import KIND_PLACEMENT
 from ..workloads.job import JobSpec
 
 
@@ -117,6 +119,17 @@ class ClusterState:
             links = self.router.route(first, last, flow_label=spec.job_id)
         job = PlacedJob(spec=spec, hosts=list(hosts), links=links)
         self._jobs[spec.job_id] = job
+        telemetry = _telemetry_session.current()
+        if telemetry.enabled:
+            telemetry.counter("scheduler.placements").inc()
+            telemetry.event(
+                KIND_PLACEMENT,
+                t=0.0,
+                job=spec.job_id,
+                hosts=list(hosts),
+                links=[link.name for link in links],
+                cross_rack=bool(links),
+            )
         return job
 
     def remove(self, job_id: str) -> None:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..telemetry import session as _telemetry_session
+from ..telemetry.trace import KIND_DISPATCH
 from .events import Event, EventQueue
 
 #: Relative tolerance used when comparing simulation times.
@@ -19,14 +21,27 @@ TIME_EPSILON = 1e-12
 
 
 class Simulator:
-    """A discrete-event simulator with an absolute clock in seconds."""
+    """A discrete-event simulator with an absolute clock in seconds.
 
-    def __init__(self) -> None:
+    Args:
+        telemetry: Optional :class:`repro.telemetry.Telemetry` session.
+            ``None`` inherits the ambient session (disabled unless a
+            ``telemetry.use(...)`` block or run recorder is active).
+            When enabled, every dispatched event is recorded to the
+            trace and counted in the metrics registry.
+    """
+
+    def __init__(
+        self,
+        telemetry: Optional["_telemetry_session.Telemetry"] = None,
+    ) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self.telemetry = _telemetry_session.resolve(telemetry)
+        self._event_counter = self.telemetry.counter("sim.events")
 
     # ------------------------------------------------------------------
     # Clock
@@ -108,6 +123,14 @@ class Simulator:
             )
         self._now = max(self._now, event.time)
         self._events_executed += 1
+        if self.telemetry.enabled:
+            self._event_counter.inc()
+            self.telemetry.event(
+                KIND_DISPATCH,
+                t=event.time,
+                fn=getattr(event.fn, "__qualname__", type(event.fn).__name__),
+                priority=event.priority,
+            )
         event.fn(*event.args)
         return True
 

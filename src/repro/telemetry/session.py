@@ -1,0 +1,148 @@
+"""The telemetry session facade and the ambient current session.
+
+A :class:`Telemetry` object bundles the three recording surfaces —
+metric registry, simulation-event trace, wall-clock span log — behind
+one handle that instrumented code can treat uniformly:
+
+* ``tel.counter("sim.events").inc()`` — metrics
+* ``tel.event("job.phase", t=now, job="J1", state="comm")`` — trace
+* ``with tel.span("solve_rotations"):`` — profiling
+
+Disabled telemetry is the :data:`NULL` singleton: ``enabled`` is False,
+every call is a no-op, and nothing is ever allocated, so always-on
+instrumentation costs one attribute check on hot paths.
+
+Most components accept an explicit ``telemetry=`` argument; components
+that cannot (placement policies, the solver facade) use the *ambient*
+session — :func:`current` returns whatever session the innermost
+:func:`use` context installed, or :data:`NULL`. Experiment drivers and
+the CLI install a session around a whole run, so every layer inherits
+instrumentation without signature churn.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Optional
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    Registry,
+)
+from .spans import NULL_SPAN, SpanLog
+from .trace import TraceRecorder
+
+
+class Telemetry:
+    """One recording session: registry + trace + spans."""
+
+    #: Hot paths branch on this instead of calling no-op methods.
+    enabled = True
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.registry = Registry()
+        self.trace = TraceRecorder()
+        self.spans = SpanLog()
+
+    # -- metrics -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Named counter from this session's registry."""
+        return self.registry.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        """Named gauge from this session's registry."""
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        """Named histogram from this session's registry."""
+        return self.registry.histogram(name)
+
+    # -- trace ---------------------------------------------------------
+
+    def event(self, kind: str, t: float, **fields: Any) -> None:
+        """Record one simulation event (simulation time, no wall clock)."""
+        self.trace.emit(kind, t, **fields)
+
+    # -- spans ---------------------------------------------------------
+
+    def span(self, name: str):
+        """Context manager timing the enclosed block (wall clock)."""
+        return self.spans.span(name)
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Metrics + span timings + trace summary (no trace payload)."""
+        data = self.registry.snapshot()
+        data["spans"] = self.spans.timings()
+        data["events"] = len(self.trace)
+        data["event_kinds"] = self.trace.counts_by_kind()
+        return data
+
+
+class NullTelemetry(Telemetry):
+    """The disabled session: accepts everything, records nothing."""
+
+    enabled = False
+
+    _COUNTER = NullCounter("null")
+    _GAUGE = NullGauge("null")
+    _HISTOGRAM = NullHistogram("null")
+
+    def __init__(self) -> None:
+        super().__init__(name="null")
+
+    def counter(self, name: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return self._HISTOGRAM
+
+    def event(self, kind: str, t: float, **fields: Any) -> None:
+        pass
+
+    def span(self, name: str):
+        return NULL_SPAN
+
+
+#: The shared disabled session. ``Simulator(telemetry=None)`` resolves to
+#: the ambient session, which is NULL unless a :func:`use` block is open.
+NULL = NullTelemetry()
+
+_current: Telemetry = NULL
+
+
+def current() -> Telemetry:
+    """The ambient session (:data:`NULL` when none is installed)."""
+    return _current
+
+
+def resolve(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Map an optional ``telemetry=`` argument to a concrete session.
+
+    ``None`` means "inherit the ambient session" — the convention every
+    instrumented constructor in the library follows.
+    """
+    return telemetry if telemetry is not None else _current
+
+
+@contextlib.contextmanager
+def use(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Install ``telemetry`` as the ambient session for the block."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous

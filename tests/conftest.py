@@ -13,6 +13,12 @@ from repro.workloads.job import JobSpec
 CAPACITY = gbps(42)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Keep CLI-recorded runs out of the working tree during tests."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture
 def capacity():
     """Reference link capacity used across tests."""

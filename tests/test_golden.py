@@ -1,0 +1,100 @@
+"""Golden regression tests for the headline experiments.
+
+Small-configuration runs of the Figure 1 and Table 1 pipelines pinned to
+the numbers they produced when this file was written. The simulators are
+seeded and their traces deterministic (see test_trace_determinism.py),
+so any drift here means an intentional model change — update the goldens
+alongside the change — or an accidental regression.
+
+Tolerances are tight (rel=1e-9) because the pipeline is pure seeded
+float arithmetic, not measurement.
+"""
+
+import pytest
+
+from repro.experiments import figure1, table1
+from repro.workloads.profiles import table1_groups
+
+REL = 1e-9
+
+#: cdf_experiment(n_iterations=40, skip=5, seed=0) median speedups.
+GOLDEN_CDF_SPEEDUP = {"J1": 1.3817034685075564, "J2": 1.2874469008103344}
+
+#: bandwidth_experiment() steady shares, Gbps (defaults, seed=7).
+GOLDEN_FAIR_GBPS = {"J1": 24.248461, "J2": 25.515268}
+GOLDEN_UNFAIR_GBPS = {"J1": 29.028499, "J2": 20.723754}
+
+#: run_group(groups[i], n_iterations=20, skip=5) mean iteration times.
+GOLDEN_TABLE1 = {
+    "group1": {
+        "compatible": False,
+        "fair_ms": {"bert-g1": 181.9999999999998,
+                    "vgg19-g1": 274.9999999999998},
+        "unfair_ms": {"bert-g1": 175.16666666666652,
+                      "vgg19-g1": 283.3333333333332},
+    },
+    "group2": {
+        "compatible": True,
+        "fair_ms": {"dlrm-a-g2": 1301.0000000000011,
+                    "dlrm-b-g2": 1301.0000000000011},
+        "unfair_ms": {"dlrm-a-g2": 1001.6249809265144,
+                      "dlrm-b-g2": 1002.249961853028},
+    },
+}
+
+
+class TestFigure1Golden:
+    def test_cdf_median_speedups(self):
+        cdf = figure1.cdf_experiment(n_iterations=40, skip=5, seed=0)
+        for job, golden in GOLDEN_CDF_SPEEDUP.items():
+            assert cdf.median_speedup(job) == pytest.approx(
+                golden, rel=REL
+            ), job
+
+    def test_unfairness_speeds_up_both_jobs(self):
+        # The paper's Figure 1d claim, independent of exact goldens.
+        cdf = figure1.cdf_experiment(n_iterations=40, skip=5, seed=0)
+        for job in cdf.run.job_ids:
+            assert cdf.median_speedup(job) > 1.1
+
+    def test_bandwidth_shares(self):
+        bandwidth = figure1.bandwidth_experiment()
+        for job, golden in GOLDEN_FAIR_GBPS.items():
+            assert bandwidth.fair_gbps[job] == pytest.approx(
+                golden, rel=1e-6
+            ), job
+        for job, golden in GOLDEN_UNFAIR_GBPS.items():
+            assert bandwidth.unfair_gbps[job] == pytest.approx(
+                golden, rel=1e-6
+            ), job
+
+
+class TestTable1Golden:
+    @pytest.mark.parametrize("index,name", [(0, "group1"), (1, "group2")])
+    def test_group_iteration_times(self, index, name):
+        golden = GOLDEN_TABLE1[name]
+        result = table1.run_group(
+            table1_groups()[index], n_iterations=20, skip=5
+        )
+        assert result.compatibility.compatible == golden["compatible"]
+        for row in result.rows:
+            assert row.fair_ms == pytest.approx(
+                golden["fair_ms"][row.job_id], rel=REL
+            ), row.job_id
+            assert row.unfair_ms == pytest.approx(
+                golden["unfair_ms"][row.job_id], rel=REL
+            ), row.job_id
+
+    def test_compatible_group_gains_incompatible_does_not(self):
+        # The Table 1 headline: unfairness helps the compatible group
+        # and cannot help the incompatible one.
+        compatible = GOLDEN_TABLE1["group2"]
+        incompatible = GOLDEN_TABLE1["group1"]
+        for job in compatible["fair_ms"]:
+            assert (
+                compatible["unfair_ms"][job] < compatible["fair_ms"][job]
+            )
+        assert any(
+            incompatible["unfair_ms"][job] > incompatible["fair_ms"][job]
+            for job in incompatible["fair_ms"]
+        )

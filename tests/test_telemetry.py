@@ -1,0 +1,365 @@
+"""Unit tests for the telemetry subsystem.
+
+Covers the instruments (counters, gauges, histograms), span nesting,
+JSONL round-trips, the disabled (NULL) path, the ambient session, and
+the run recorder + CLI stats/trace commands.
+"""
+
+import json
+
+import pytest
+
+from repro import io
+from repro.cc.fair import FairSharing
+from repro.cli import main as cli_main
+from repro.errors import ConfigError
+from repro.experiments import ablations
+from repro.experiments.common import run_jobs
+from repro.sim.engine import Simulator
+from repro.telemetry import (
+    NULL,
+    Registry,
+    Telemetry,
+    TraceRecord,
+    TraceRecorder,
+    current,
+    use,
+)
+from repro.telemetry.runs import (
+    RunRecorder,
+    flow_bytes,
+    resolve_run,
+    stats_report,
+    trace_report,
+)
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        registry = Registry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_is_shared_by_name(self):
+        registry = Registry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            Registry().counter("x").inc(-1)
+
+    def test_kind_collision_rejected(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(ConfigError):
+            registry.gauge("x")
+
+
+class TestGauges:
+    def test_gauge_moves_both_ways(self):
+        gauge = Registry().gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == 3
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        histogram = Registry().histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 10.0
+        assert histogram.mean == 2.5
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.percentile(50) == 2.5
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 4.0
+
+    def test_empty_histogram_is_zero(self):
+        histogram = Registry().histogram("h")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50) == 0.0
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ConfigError):
+            Registry().histogram("h").percentile(101)
+
+    def test_snapshot_is_sorted(self):
+        registry = Registry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "z"]
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        telemetry = Telemetry()
+        with telemetry.span("work") as span:
+            pass
+        assert span.duration >= 0.0
+        assert telemetry.spans.find("work") is span
+
+    def test_span_nesting_builds_paths(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer"):
+            with telemetry.span("inner") as inner:
+                assert telemetry.spans.active_depth == 2
+        assert inner.path == "outer/inner"
+        assert inner.depth == 1
+        timings = telemetry.spans.timings()
+        assert set(timings) == {"outer", "outer/inner"}
+        assert timings["outer"]["count"] == 1
+
+    def test_sibling_spans_aggregate(self):
+        telemetry = Telemetry()
+        for _ in range(3):
+            with telemetry.span("step"):
+                pass
+        assert telemetry.spans.timings()["step"]["count"] == 3
+
+    def test_exception_still_closes_span(self):
+        telemetry = Telemetry()
+        with pytest.raises(ValueError):
+            with telemetry.span("boom"):
+                raise ValueError("x")
+        assert telemetry.spans.active_depth == 0
+        assert telemetry.spans.find("boom") is not None
+
+
+class TestTrace:
+    def test_emit_and_query(self):
+        recorder = TraceRecorder()
+        recorder.emit("job.phase", 0.5, job="J1", state="comm")
+        recorder.emit("job.phase", 0.7, job="J2", state="comm")
+        recorder.emit("rate.change", 0.7, job="J1", rate=1.0)
+        assert len(recorder) == 3
+        assert recorder.counts_by_kind() == {
+            "job.phase": 2, "rate.change": 1,
+        }
+        assert [r.fields["job"] for r in recorder.of_kind("job.phase")] == [
+            "J1", "J2",
+        ]
+
+    def test_record_equality_and_dict_round_trip(self):
+        record = TraceRecord("k", 1.25, {"a": 1})
+        assert TraceRecord.from_dict(record.to_dict()) == record
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceRecord("", 0.0)
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceRecord.from_dict({"t": 1.0})
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        records = [
+            TraceRecord("job.phase", 0.1, {"job": "J1", "state": "comm"}),
+            TraceRecord("rate.change", 0.2, {"rate": 5.25e9}),
+        ]
+        path = tmp_path / "trace.jsonl"
+        io.save_trace(records, path)
+        assert io.load_trace(path) == records
+
+    def test_header_is_versioned(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        io.save_trace([], path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"type": "trace", "version": io.FORMAT_VERSION}
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ConfigError):
+            io.trace_from_jsonl('{"kind": "x", "t": 0.0}\n')
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ConfigError):
+            io.trace_from_jsonl('{"type": "trace", "version": 99}\n')
+
+    def test_manifest_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        io.save_manifest({"artifact": "figure1", "events": 3}, path)
+        loaded = io.load_manifest(path)
+        assert loaded["artifact"] == "figure1"
+        assert loaded["events"] == 3
+
+
+class TestDisabledPath:
+    def test_null_accepts_everything(self):
+        NULL.counter("x").inc()
+        NULL.gauge("x").set(1)
+        NULL.histogram("x").observe(1)
+        NULL.event("kind", t=0.0, a=1)
+        with NULL.span("s") as span:
+            pass
+        assert span.duration == 0.0
+        assert len(NULL.trace) == 0
+        assert NULL.registry.snapshot()["counters"] == {}
+
+    def test_ambient_default_is_null(self):
+        assert current() is NULL
+        assert not current().enabled
+
+    def test_use_installs_and_restores(self):
+        telemetry = Telemetry()
+        with use(telemetry):
+            assert current() is telemetry
+        assert current() is NULL
+
+    def test_disabled_simulator_run_adds_zero_events(self, simple_pair):
+        # The core satellite requirement: with telemetry disabled, a
+        # Simulator-backed run must not record anything anywhere.
+        before_events = len(NULL.trace)
+        result = run_jobs(
+            list(simple_pair), FairSharing(), n_iterations=3
+        )
+        assert result.jobs["J1"].iterations_done == 3
+        assert len(NULL.trace) == before_events == 0
+        assert NULL.registry.snapshot()["counters"] == {}
+
+    def test_simulator_default_telemetry_is_disabled(self):
+        sim = Simulator()
+        assert sim.telemetry is NULL
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert len(NULL.trace) == 0
+
+    def test_enabled_simulator_traces_dispatches(self):
+        telemetry = Telemetry()
+        sim = Simulator(telemetry=telemetry)
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        dispatches = telemetry.trace.of_kind("sim.dispatch")
+        assert [r.t for r in dispatches] == [1.0, 2.0]
+        assert telemetry.counter("sim.events").value == 2
+
+
+class TestPhasesimInstrumentation:
+    def test_trace_covers_phases_rates_iterations(self, simple_pair):
+        telemetry = Telemetry()
+        run_jobs(
+            list(simple_pair), FairSharing(), n_iterations=2,
+            telemetry=telemetry,
+        )
+        kinds = telemetry.trace.counts_by_kind()
+        assert kinds["job.iteration"] == 4  # 2 jobs x 2 iterations
+        assert kinds["job.comm"] == 4
+        assert kinds["job.phase"] >= 8  # compute + comm per iteration
+        assert kinds["rate.change"] > 0
+        assert kinds["sim.dispatch"] > 0
+
+    def test_comm_records_carry_flow_bytes(self, simple_pair):
+        telemetry = Telemetry()
+        run_jobs(
+            list(simple_pair), FairSharing(), n_iterations=2,
+            telemetry=telemetry,
+        )
+        totals = flow_bytes(telemetry.trace.records)
+        expected = 2 * simple_pair[0].comm_bytes
+        assert totals["flow:J1:0"] == pytest.approx(expected)
+        assert totals["flow:J2:0"] == pytest.approx(expected)
+
+
+class TestRunRecorder:
+    def test_records_trace_and_manifest(self, tmp_path, simple_pair):
+        with RunRecorder("demo", runs_dir=tmp_path) as recorder:
+            run_jobs(list(simple_pair), FairSharing(), n_iterations=2)
+        run_dir = recorder.run_dir
+        assert run_dir is not None
+        manifest = io.load_manifest(run_dir / "manifest.json")
+        records = io.load_trace(run_dir / "trace.jsonl")
+        assert manifest["artifact"] == "demo"
+        assert manifest["events"] == len(records) > 0
+        assert manifest["failed"] is False
+        assert "phasesim.iterations" in manifest["counters"]
+
+    def test_failed_run_still_recorded(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with RunRecorder("boom", runs_dir=tmp_path) as recorder:
+                current().event("x", t=0.0)
+                raise RuntimeError("experiment crashed")
+        manifest = io.load_manifest(recorder.run_dir / "manifest.json")
+        assert manifest["failed"] is True
+        assert manifest["events"] == 1
+
+    def test_resolve_run_picks_latest(self, tmp_path, simple_pair):
+        for _ in range(2):
+            with RunRecorder("demo", runs_dir=tmp_path) as recorder:
+                pass
+        assert resolve_run("demo", runs_dir=tmp_path) == recorder.run_dir
+        assert resolve_run(str(recorder.run_dir)) == recorder.run_dir
+
+    def test_resolve_unknown_run_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            resolve_run("nope", runs_dir=tmp_path)
+
+    def test_stats_and_trace_reports(self, tmp_path, simple_pair):
+        with RunRecorder("demo", runs_dir=tmp_path) as recorder:
+            with current().span("experiment.demo"):
+                run_jobs(list(simple_pair), FairSharing(), n_iterations=2)
+        stats = stats_report(recorder.run_dir)
+        assert "job.iteration" in stats
+        assert "flow:J1:0" in stats
+        assert "experiment.demo" in stats
+        listing = trace_report(recorder.run_dir, kind="job.iteration")
+        assert "job.iteration" in listing
+        assert "rate.change" not in listing
+
+
+class TestCliTelemetryCommands:
+    def test_run_records_and_stats_summarizes(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "runs")
+        assert cli_main(
+            ["run", "figure3", "--runs-dir", runs_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert cli_main(["stats", "figure3", "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert "artifact figure3" in out
+        assert "experiment.figure3" in out
+
+    def test_no_record_writes_nothing(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert cli_main(
+            ["run", "figure3", "--no-record", "--runs-dir", str(runs_dir)]
+        ) == 0
+        assert not runs_dir.exists()
+        assert "telemetry:" not in capsys.readouterr().out
+
+    def test_stats_unknown_run_fails_cleanly(self, tmp_path, capsys):
+        assert cli_main(
+            ["stats", "nope", "--runs-dir", str(tmp_path)]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAblationsManifest:
+    def test_solver_spans_reach_run_manifest(self, tmp_path):
+        # The solver-comparison ablation times solvers through telemetry
+        # spans; a recorded run must carry them in its manifest.
+        with RunRecorder("ablations", runs_dir=tmp_path) as recorder:
+            runs = ablations.solver_comparison()
+        assert all(run.seconds >= 0.0 for run in runs)
+        assert any(run.seconds > 0.0 for run in runs)
+        manifest = io.load_manifest(recorder.run_dir / "manifest.json")
+        span_paths = set(manifest["spans"])
+        for solver in ("backtracking", "greedy", "annealing", "grid-36"):
+            assert f"solver.{solver}" in span_paths, solver
+
+    def test_solver_timings_without_session_still_measured(self):
+        runs = ablations.solver_comparison()
+        assert any(run.seconds > 0.0 for run in runs)
+        # Nothing leaked into the disabled ambient session.
+        assert len(NULL.trace) == 0
