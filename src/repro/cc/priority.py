@@ -45,3 +45,13 @@ class PrioritySharing(SharePolicy):
     def priority_for_job(self, job_id: str) -> int:
         """The configured priority of ``job_id`` (default if unset)."""
         return self._priorities.get(job_id, self._default)
+
+    @property
+    def priorities(self) -> Dict[str, int]:
+        """The configured per-job priorities (copy)."""
+        return dict(self._priorities)
+
+    @property
+    def default_priority(self) -> int:
+        """The priority applied to jobs without an explicit entry."""
+        return self._default

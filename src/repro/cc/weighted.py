@@ -64,3 +64,13 @@ class StaticWeighted(SharePolicy):
     def weight_for_job(self, job_id: str) -> float:
         """The configured weight of ``job_id`` (default if unset)."""
         return self._weights.get(job_id, self._default)
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """The configured per-job weights (copy)."""
+        return dict(self._weights)
+
+    @property
+    def default_weight(self) -> float:
+        """The weight applied to jobs without an explicit entry."""
+        return self._default

@@ -16,6 +16,15 @@ Recorded runs are inspected with::
 
     repro-experiments stats figure1          # latest figure1 run
     repro-experiments trace figure1 --kind job.iteration --limit 20
+
+Experiments execute through the runner (:mod:`repro.runner`):
+``--jobs N`` fans the run specs out over worker processes and results
+are cached on disk under ``<runs-dir>/cache`` keyed by spec content
+hash, so repeating a run replays it instantly (``--no-cache`` opts
+out). Inspect or reset the cache with::
+
+    repro-experiments cache --stats
+    repro-experiments cache --clear
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from .errors import ReproError
@@ -40,6 +50,7 @@ from .experiments import (
     sweep,
     table1,
 )
+from .runner import ResultCache, RunnerConfig, using
 from .telemetry.runs import (
     DEFAULT_RUNS_DIR,
     RunRecorder,
@@ -107,6 +118,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for recorded runs (default: $REPRO_RUNS_DIR or "
         f"'{DEFAULT_RUNS_DIR}')",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for run specs (default 1 = in-process)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (always execute)",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache location, entry count and size (default)",
+    )
+    cache.add_argument(
+        "--clear",
+        action="store_true",
+        help="delete every cached result",
+    )
+    cache.add_argument("--runs-dir", default=None, help=argparse.SUPPRESS)
 
     stats = subparsers.add_parser(
         "stats", help="summarize a recorded run (events, bytes, spans)"
@@ -137,18 +174,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_artifact(name: str, record: bool, runs_dir: str) -> None:
+def _runner_summary(telemetry) -> Optional[str]:
+    """One line of runner activity, or ``None`` if nothing ran."""
+    specs = int(telemetry.counter("runner.specs").value)
+    if not specs:
+        return None
+    executed = int(telemetry.counter("runner.executed").value)
+    hits = int(telemetry.counter("runner.cache.hits").value)
+    return (
+        f"runner: {specs} spec(s): {executed} executed,"
+        f" {hits} cache hit(s)"
+    )
+
+
+def _run_artifact(
+    name: str,
+    record: bool,
+    runs_dir: str,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> None:
     runner = EXPERIMENTS[name][1]
+    config = RunnerConfig(
+        jobs=jobs,
+        cache=use_cache,
+        cache_dir=Path(runs_dir) / "cache",
+    )
     if not record:
-        runner()
+        with using(config):
+            runner()
         return
-    with RunRecorder(name, runs_dir=runs_dir) as recorder:
+    with using(config), RunRecorder(name, runs_dir=runs_dir) as recorder:
         runner()
     assert recorder.run_dir is not None
     print(
         f"\ntelemetry: {len(recorder.telemetry.trace)} events recorded"
         f" -> {recorder.run_dir}"
     )
+    summary = _runner_summary(recorder.telemetry)
+    if summary is not None:
+        print(summary)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -167,12 +232,25 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         record = not args.no_record
+        jobs = max(1, args.jobs)
+        use_cache = not args.no_cache
         if args.artifact == "all":
             for name in sorted(EXPERIMENTS):
                 print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-                _run_artifact(name, record, runs_dir)
+                _run_artifact(name, record, runs_dir, jobs, use_cache)
             return 0
-        _run_artifact(args.artifact, record, runs_dir)
+        _run_artifact(args.artifact, record, runs_dir, jobs, use_cache)
+        return 0
+
+    if args.command == "cache":
+        store = ResultCache(Path(runs_dir) / "cache")
+        if args.clear:
+            print(f"cleared {store.clear()} cached result(s)")
+            return 0
+        info = store.stats()
+        print(f"cache: {info['root']}")
+        print(f"entries: {info['entries']}")
+        print(f"bytes: {info['bytes']}")
         return 0
 
     try:

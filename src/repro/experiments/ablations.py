@@ -27,9 +27,10 @@ from ..core.optimize import (
     exhaustive_search,
     greedy_search,
 )
+from ..runner import run_many
 from ..workloads.job import JobSpec
 from ..workloads.profiles import EFFECTIVE_BOTTLENECK, table1_groups
-from .common import run_jobs
+from .common import phase_spec
 
 
 # ---------------------------------------------------------------------------
@@ -75,20 +76,32 @@ def adaptive_cc_experiment(
     """
     groups = table1_groups()
     chosen = [groups[1], groups[0]]  # group2 (compatible), group1 (not)
-    results: List[AdaptiveCcResult] = []
+    run_specs = []
     for group in chosen:
-        specs = group.specs
         offsets = {
-            spec.job_id: index * desync for index, spec in enumerate(specs)
+            spec.job_id: index * desync
+            for index, spec in enumerate(group.specs)
         }
-        fair = run_jobs(
-            specs, FairSharing(), n_iterations=n_iterations,
-            start_offsets=offsets, seed=seed,
-        )
-        adaptive = run_jobs(
-            specs, AdaptiveUnfair(), n_iterations=n_iterations,
-            start_offsets=offsets, seed=seed,
-        )
+        for policy, kind in (
+            (FairSharing(), "fair"),
+            (AdaptiveUnfair(), "adaptive"),
+        ):
+            run_specs.append(
+                phase_spec(
+                    group.specs,
+                    policy,
+                    n_iterations=n_iterations,
+                    start_offsets=offsets,
+                    seed=seed,
+                    label=f"ablation-adaptive-{group.name}-{kind}",
+                )
+            )
+    run_results = run_many(run_specs)
+    results: List[AdaptiveCcResult] = []
+    for index, group in enumerate(chosen):
+        specs = group.specs
+        fair = run_results[2 * index].phase
+        adaptive = run_results[2 * index + 1].phase
         results.append(
             AdaptiveCcResult(
                 group_name=group.name,
@@ -319,7 +332,7 @@ def clock_skew_experiment(
         spec.job_id: spec.solo_iteration_time(EFFECTIVE_BOTTLENECK) * 1e3
         for spec in group
     }
-    points: List[ClockSkewPoint] = []
+    run_specs = []
     for skew_ms in skews_ms:
         gates = {}
         for index, spec in enumerate(group):
@@ -328,10 +341,20 @@ def clock_skew_experiment(
             gates[spec.job_id] = schedule.gate_for(
                 spec.job_id, epoch=epoch
             )
-        result = run_jobs(
-            group, FairSharing(), n_iterations=n_iterations, gates=gates,
-            seed=seed,
+        run_specs.append(
+            phase_spec(
+                group,
+                FairSharing(),
+                n_iterations=n_iterations,
+                gates=gates,
+                seed=seed,
+                label=f"ablation-skew-{skew_ms:g}ms",
+            )
         )
+    results = run_many(run_specs)
+    points: List[ClockSkewPoint] = []
+    for skew_ms, run_result in zip(skews_ms, results):
+        result = run_result.phase
         slowdowns = [
             result.mean_iteration_time(spec.job_id, skip=skip)
             * 1e3

@@ -1,8 +1,10 @@
 """Shared experiment infrastructure.
 
 Every testbed-style experiment runs on the paper's Figure 1a shape: jobs
-whose flows cross the dumbbell bottleneck ``L1``. These helpers build that
-setup and run a set of job specs under a share policy.
+whose flows cross the dumbbell bottleneck ``L1``. These helpers describe
+that setup as :class:`~repro.runner.spec.RunSpec` objects and execute
+them through the runner, so every experiment automatically picks up the
+process pool and result cache configured by ``repro-experiments run``.
 """
 
 from __future__ import annotations
@@ -12,8 +14,9 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..cc.base import SharePolicy
 from ..errors import ConfigError
-from ..net.phasesim import Gate, PhaseLevelSimulator, SimulationResult
+from ..net.phasesim import Gate, SimulationResult
 from ..net.topology import Topology
+from ..runner import RunSpec, freeze_mapping, run_many
 from ..telemetry import Telemetry
 from ..workloads.job import JobSpec
 from ..workloads.profiles import EFFECTIVE_BOTTLENECK
@@ -41,6 +44,38 @@ def dumbbell_for(
     )
 
 
+def phase_spec(
+    specs: Sequence[JobSpec],
+    policy: SharePolicy,
+    n_iterations: int,
+    capacity: float = EFFECTIVE_BOTTLENECK,
+    start_offsets: Optional[Mapping[str, float]] = None,
+    gates: Optional[Mapping[str, Gate]] = None,
+    seed: int = 0,
+    until: Optional[float] = None,
+    label: str = "",
+) -> RunSpec:
+    """Describe a dumbbell phase-level run as a :class:`RunSpec`.
+
+    Job ``i`` sends from ``ha{i}`` to ``hb{i}``; all flows share ``L1``
+    (the phase backend builds the matching dumbbell itself).
+    """
+    if not specs:
+        raise ConfigError("no job specs given")
+    return RunSpec(
+        backend="phase",
+        label=label,
+        seed=seed,
+        jobs=tuple(specs),
+        policy=policy,
+        n_iterations=n_iterations,
+        capacity=capacity,
+        start_offsets=freeze_mapping(start_offsets),
+        gates=freeze_mapping(gates),
+        until=until,
+    )
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     policy: SharePolicy,
@@ -54,26 +89,26 @@ def run_jobs(
 ) -> SimulationResult:
     """Run ``specs`` across the dumbbell bottleneck under ``policy``.
 
-    Job ``i`` sends from ``ha{i}`` to ``hb{i}``; all flows share ``L1``.
-    ``telemetry`` defaults to the ambient session, so experiments record
-    automatically when run under ``repro-experiments run``.
+    Convenience wrapper building one :func:`phase_spec` and executing it
+    through the runner. ``telemetry`` defaults to the ambient session, so
+    experiments record automatically under ``repro-experiments run``.
     """
-    if not specs:
-        raise ConfigError("no job specs given")
-    topology = dumbbell_for(len(specs), capacity)
-    sim = PhaseLevelSimulator(topology, policy, seed=seed, telemetry=telemetry)
-    start_offsets = start_offsets or {}
-    gates = gates or {}
-    for index, spec in enumerate(specs):
-        sim.add_job(
-            spec,
-            src=f"ha{index}",
-            dst=f"hb{index}",
-            n_iterations=n_iterations,
-            start_offset=start_offsets.get(spec.job_id, 0.0),
-            gate=gates.get(spec.job_id),
-        )
-    return sim.run(until=until)
+    [result] = run_many(
+        [
+            phase_spec(
+                specs,
+                policy,
+                n_iterations,
+                capacity=capacity,
+                start_offsets=start_offsets,
+                gates=gates,
+                seed=seed,
+                until=until,
+            )
+        ],
+        telemetry=telemetry,
+    )
+    return result.phase
 
 
 @dataclass

@@ -7,25 +7,23 @@ the actual ``T`` knob — no fluid-allocator shortcut anywhere. This
 experiment runs the Figure 1 VGG19 pair as on-off DCQCN traffic sources
 and compares fair (both T = 125 µs) against unfair (J1 at T = 100 µs)
 mean iteration times, exactly like the testbed protocol.
+
+:func:`dt_sweep` additionally re-runs the comparison at coarser fluid
+time steps — a resolution-robustness check that fans out across
+processes under ``--jobs N``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..telemetry import current
 from ..analysis.report import ascii_table
-from ..cc.dcqcn import (
-    AGGRESSIVE_TIMER,
-    DEFAULT_TIMER,
-    DcqcnFluidSimulator,
-    DcqcnParams,
-    OnOffDcqcnJob,
-)
-from ..sim.rng import RandomStreams
+from ..cc.dcqcn import AGGRESSIVE_TIMER, DEFAULT_TIMER
+from ..runner import RunSpec, ScenarioSpec, SenderSpec, run_many
 from ..units import gbps
 
 #: The Figure 2 VGG19 profile at 50 Gbps line rate: 100 ms compute plus
@@ -73,6 +71,66 @@ class CrossFidelityResult:
         )
 
 
+def _lineup(timers: Dict[str, float]) -> tuple:
+    """The on-off sender lineup for one scenario.
+
+    Stream names replicate the original experiment's
+    ``xfid:<name>:<timer>`` convention, so the fair and unfair
+    scenarios draw exactly the jitter sequences they always did.
+    """
+    return tuple(
+        SenderSpec(
+            name,
+            timer,
+            compute_time=COMPUTE_TIME,
+            comm_bytes=COMM_BYTES,
+            start_offset=index * 0.004,
+            stream=f"xfid:{name}:{timer}",
+        )
+        for index, (name, timer) in enumerate(timers.items())
+    )
+
+
+def _spec(
+    duration: float, dt: float, seed: int, label: str = "crossfidelity"
+) -> RunSpec:
+    """Both scenarios in one fluid spec (they share random streams)."""
+    return RunSpec(
+        backend="fluid",
+        label=label,
+        seed=seed,
+        capacity=gbps(50),
+        duration=duration,
+        options=(("dt", dt),),
+        scenarios=(
+            ScenarioSpec(
+                "fair",
+                _lineup({"J1": DEFAULT_TIMER, "J2": DEFAULT_TIMER}),
+            ),
+            ScenarioSpec(
+                "unfair",
+                _lineup({"J1": AGGRESSIVE_TIMER, "J2": DEFAULT_TIMER}),
+            ),
+        ),
+    )
+
+
+def _summarize(result, skip: int) -> CrossFidelityResult:
+    fair = result.scenario("fair")
+    unfair = result.scenario("unfair")
+
+    def mean_ms(scenario, name: str) -> float:
+        times = scenario.iteration_times(name)[skip:]
+        return float(np.mean(times) * 1e3)
+
+    names = ("J1", "J2")
+    return CrossFidelityResult(
+        fair_ms={name: mean_ms(fair, name) for name in names},
+        unfair_ms={name: mean_ms(unfair, name) for name in names},
+        iterations={name: unfair.iterations(name) for name in names},
+    )
+
+
 def run(
     duration: float = 3.0,
     dt: float = 10e-6,
@@ -80,46 +138,64 @@ def run(
     seed: int = 5,
 ) -> CrossFidelityResult:
     """Run both scenarios at fine granularity and summarize."""
-    streams = RandomStreams(seed)
+    [result] = run_many([_spec(duration, dt, seed)])
+    return _summarize(result, skip)
 
-    def scenario(timers: Dict[str, float]) -> Dict[str, OnOffDcqcnJob]:
-        sim = DcqcnFluidSimulator(capacity=gbps(50), dt=dt)
-        jobs: Dict[str, OnOffDcqcnJob] = {}
-        params = DcqcnParams(line_rate=gbps(50))
-        for index, (name, timer) in enumerate(timers.items()):
-            job = OnOffDcqcnJob(
-                name,
-                params.with_timer(timer),
-                streams.get(f"xfid:{name}:{timer}"),
-                compute_time=COMPUTE_TIME,
-                comm_bytes=COMM_BYTES,
-                start_offset=index * 0.004,
-            )
-            jobs[name] = job
-            sim.add_source(job)
-        sim.run(duration)
-        return jobs
 
-    fair = scenario({"J1": DEFAULT_TIMER, "J2": DEFAULT_TIMER})
-    unfair = scenario({"J1": AGGRESSIVE_TIMER, "J2": DEFAULT_TIMER})
+@dataclass
+class DtSweepPoint:
+    """One resolution level of the dt sweep."""
 
-    def mean_ms(job: OnOffDcqcnJob) -> float:
-        times = job.iteration_times()[skip:]
-        return float(np.mean(times) * 1e3)
+    dt: float
+    result: CrossFidelityResult
 
-    return CrossFidelityResult(
-        fair_ms={name: mean_ms(job) for name, job in fair.items()},
-        unfair_ms={name: mean_ms(job) for name, job in unfair.items()},
-        iterations={
-            name: len(job.iteration_ends) for name, job in unfair.items()
-        },
+
+def dt_sweep(
+    dts: Sequence[float] = (10e-6, 20e-6, 40e-6),
+    duration: float = 1.2,
+    skip: int = 1,
+    seed: int = 5,
+) -> List[DtSweepPoint]:
+    """The fair/unfair comparison at several fluid time steps.
+
+    One spec per resolution, all submitted through a single
+    :func:`run_many` call — the embarrassingly parallel shape the
+    runner exists for.
+    """
+    specs = [
+        _spec(duration, dt, seed, label=f"crossfidelity-dt-{dt:g}")
+        for dt in dts
+    ]
+    results = run_many(specs)
+    return [
+        DtSweepPoint(dt=dt, result=_summarize(result, skip))
+        for dt, result in zip(dts, results)
+    ]
+
+
+def dt_sweep_report(points: Sequence[DtSweepPoint]) -> str:
+    """Render the resolution-robustness table."""
+    rows = [
+        (
+            f"{point.dt * 1e6:.0f} us",
+            f"{point.result.speedup('J1'):.2f}x",
+            f"{point.result.speedup('J2'):.2f}x",
+        )
+        for point in points
+    ]
+    return ascii_table(
+        ["fluid dt", "J1 speedup", "J2 speedup"],
+        rows,
+        title="Cross-fidelity dt sweep — unfairness payoff vs resolution",
     )
 
 
 def main() -> None:
-    """Print the cross-fidelity comparison."""
+    """Print the cross-fidelity comparison and the dt sweep."""
     with current().span("experiment.crossfidelity"):
         print(run().report())
+        print()
+        print(dt_sweep_report(dt_sweep()))
 
 
 if __name__ == "__main__":

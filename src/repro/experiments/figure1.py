@@ -21,21 +21,15 @@ from typing import Dict, List
 import numpy as np
 
 from ..telemetry import current
-from ..cc.dcqcn import (
-    AGGRESSIVE_TIMER,
-    DEFAULT_TIMER,
-    DcqcnFluidSimulator,
-    DcqcnParams,
-    DcqcnResult,
-)
+from ..cc.dcqcn import AGGRESSIVE_TIMER, DEFAULT_TIMER, DcqcnResult
 from ..cc.fair import FairSharing
 from ..cc.weighted import StaticWeighted
 from ..analysis.cdf import median_of
 from ..analysis.report import ascii_cdf, ascii_table
-from ..sim.rng import RandomStreams
+from ..runner import RunSpec, ScenarioSpec, SenderSpec, run_many
 from ..units import gbps, to_gbps
 from ..workloads.profiles import figure2_vgg19_pair
-from .common import PairedRun, run_jobs
+from .common import PairedRun, phase_spec
 
 #: Paper numbers for the bandwidth experiment (Gbps).
 PAPER_FAIR_GBPS = (21.0, 21.0)
@@ -79,20 +73,38 @@ def bandwidth_experiment(
     capacity: float = gbps(50),
     seed: int = 7,
 ) -> BandwidthResult:
-    """Run the Fig. 1b/1c DCQCN scenarios and measure steady shares."""
-    params = DcqcnParams(line_rate=capacity)
-    streams = RandomStreams(seed)
+    """Run the Fig. 1b/1c DCQCN scenarios and measure steady shares.
 
-    def run(timers: Dict[str, float]) -> DcqcnResult:
-        sim = DcqcnFluidSimulator(capacity=capacity)
-        for name, timer in timers.items():
-            sim.add_sender(
-                name, params.with_timer(timer), streams.get(f"dcqcn:{name}")
-            )
-        return sim.run(duration)
+    Both scenarios live in one fluid :class:`RunSpec` because they share
+    random streams: J2's fair-scenario generator continues into the
+    unfair scenario, exactly as the original experiment consumed it.
+    """
 
-    fair_trace = run({"J1": DEFAULT_TIMER, "J2": DEFAULT_TIMER})
-    unfair_trace = run({"J1": AGGRESSIVE_TIMER, "J2": DEFAULT_TIMER})
+    def lineup(timers: Dict[str, float]) -> tuple:
+        return tuple(
+            SenderSpec(name, timer) for name, timer in timers.items()
+        )
+
+    spec = RunSpec(
+        backend="fluid",
+        label="figure1-bandwidth",
+        seed=seed,
+        capacity=capacity,
+        duration=duration,
+        scenarios=(
+            ScenarioSpec(
+                "fair",
+                lineup({"J1": DEFAULT_TIMER, "J2": DEFAULT_TIMER}),
+            ),
+            ScenarioSpec(
+                "unfair",
+                lineup({"J1": AGGRESSIVE_TIMER, "J2": DEFAULT_TIMER}),
+            ),
+        ),
+    )
+    [result] = run_many([spec])
+    fair_trace = result.scenario("fair").trace
+    unfair_trace = result.scenario("unfair").trace
     return BandwidthResult(
         fair_gbps={
             name: to_gbps(fair_trace.mean_rate(name, start=warmup))
@@ -158,15 +170,27 @@ def cdf_experiment(
     """
     j1, j2 = figure2_vgg19_pair(jitter=jitter)
     job_ids = [j1.job_id, j2.job_id]
-    fair = run_jobs(
-        [j1, j2], FairSharing(), n_iterations=n_iterations, seed=seed
+    fair_result, unfair_result = run_many(
+        [
+            phase_spec(
+                [j1, j2],
+                FairSharing(),
+                n_iterations=n_iterations,
+                seed=seed,
+                label="figure1-cdf-fair",
+            ),
+            phase_spec(
+                [j1, j2],
+                StaticWeighted.from_aggressiveness_order(
+                    job_ids, weight_ratio
+                ),
+                n_iterations=n_iterations,
+                seed=seed,
+                label="figure1-cdf-unfair",
+            ),
+        ]
     )
-    unfair = run_jobs(
-        [j1, j2],
-        StaticWeighted.from_aggressiveness_order(job_ids, weight_ratio),
-        n_iterations=n_iterations,
-        seed=seed,
-    )
+    fair, unfair = fair_result.phase, unfair_result.phase
     paired = PairedRun(fair=fair, unfair=unfair, job_ids=job_ids)
     return CdfResult(
         run=paired,

@@ -24,8 +24,9 @@ from ..analysis.timeseries import utilization_series
 from ..cc.fair import FairSharing
 from ..cc.weighted import StaticWeighted
 from ..net.phasesim import SimulationResult
+from ..runner import run_many
 from ..workloads.profiles import EFFECTIVE_BOTTLENECK, figure2_vgg19_pair
-from .common import BOTTLENECK, run_jobs
+from .common import BOTTLENECK, phase_spec
 
 #: The paper's Figure 2b time anchors, seconds.
 PAPER_ANCHORS = {
@@ -148,19 +149,30 @@ def run(
 ) -> Figure2Result:
     """Run both Figure 2 scenarios from a simultaneous start."""
     j1, j2 = figure2_vgg19_pair()
-    fair = run_jobs(
-        [j1, j2], FairSharing(), n_iterations=n_iterations, seed=seed
-    )
-    unfair = run_jobs(
-        [j1, j2],
-        StaticWeighted.from_aggressiveness_order(
-            [j1.job_id, j2.job_id], weight_ratio
-        ),
-        n_iterations=n_iterations,
-        seed=seed,
+    fair_result, unfair_result = run_many(
+        [
+            phase_spec(
+                [j1, j2],
+                FairSharing(),
+                n_iterations=n_iterations,
+                seed=seed,
+                label="figure2-fair",
+            ),
+            phase_spec(
+                [j1, j2],
+                StaticWeighted.from_aggressiveness_order(
+                    [j1.job_id, j2.job_id], weight_ratio
+                ),
+                n_iterations=n_iterations,
+                seed=seed,
+                label="figure2-unfair",
+            ),
+        ]
     )
     return Figure2Result(
-        fair=fair, unfair=unfair, capacity=EFFECTIVE_BOTTLENECK
+        fair=fair_result.phase,
+        unfair=unfair_result.phase,
+        capacity=EFFECTIVE_BOTTLENECK,
     )
 
 

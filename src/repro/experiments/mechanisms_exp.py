@@ -27,9 +27,10 @@ from ..cc.weighted import StaticWeighted
 from ..core.compatibility import CompatibilityChecker
 from ..mechanisms.flow_scheduling import FlowSchedule
 from ..mechanisms.priorities import PriorityAssigner
+from ..runner import run_many
 from ..workloads.job import JobSpec
 from ..workloads.profiles import EFFECTIVE_BOTTLENECK, table1_groups
-from .common import run_jobs
+from .common import phase_spec
 
 
 @dataclass
@@ -83,28 +84,6 @@ def run(
         ),
         ("adaptive", AdaptiveUnfair(), {}),
     ]
-
-    outcomes: List[MechanismOutcome] = []
-    for name, policy, extra in treatments:
-        result = run_jobs(
-            specs,
-            policy,
-            n_iterations=n_iterations,
-            start_offsets=offsets,
-            seed=seed,
-            **extra,
-        )
-        outcomes.append(
-            MechanismOutcome(
-                mechanism=name,
-                iteration_ms={
-                    job: result.mean_iteration_time(job, skip=skip) * 1e3
-                    for job in job_ids
-                },
-                solo_ms=solo_ms,
-            )
-        )
-
     # Flow scheduling needs the compatibility certificate.
     if compatibility.compatible:
         schedule = FlowSchedule.from_compatibility(
@@ -112,16 +91,33 @@ def run(
             compatibility,
             ticks_per_second=checker.ticks_per_second,
         )
-        result = run_jobs(
-            specs,
-            FairSharing(),  # with disjoint windows the policy is moot
-            n_iterations=n_iterations,
-            gates=schedule.gates(),
-            seed=seed,
+        treatments.append(
+            (
+                "flow scheduling",
+                FairSharing(),  # with disjoint windows the policy is moot
+                {"gates": schedule.gates(), "start_offsets": {}},
+            )
         )
+
+    results = run_many(
+        [
+            phase_spec(
+                specs,
+                policy,
+                n_iterations=n_iterations,
+                seed=seed,
+                label=f"mechanisms-{name}",
+                **{"start_offsets": offsets, **extra},
+            )
+            for name, policy, extra in treatments
+        ]
+    )
+    outcomes: List[MechanismOutcome] = []
+    for (name, _, _), run_result in zip(treatments, results):
+        result = run_result.phase
         outcomes.append(
             MechanismOutcome(
-                mechanism="flow scheduling",
+                mechanism=name,
                 iteration_ms={
                     job: result.mean_iteration_time(job, skip=skip) * 1e3
                     for job in job_ids

@@ -32,6 +32,7 @@ from ..analysis.report import ascii_table
 from ..cc.adaptive import AdaptiveUnfair
 from ..net.routing import Router
 from ..net.topology import Topology
+from ..runner import RunSpec, run_many
 from ..scheduler.cluster import ClusterState
 from ..scheduler.placement import (
     CompatibilityAwarePlacement,
@@ -39,7 +40,8 @@ from ..scheduler.placement import (
     PlacementPolicy,
     RandomPlacement,
 )
-from ..scheduler.simulation import ClusterReport, ClusterSimulation
+from ..scheduler.simulation import ClusterReport
+from ..sim.rng import RandomStreams
 from ..units import ms
 from ..workloads.job import JobSpec
 from ..workloads.profiles import EFFECTIVE_BOTTLENECK
@@ -69,6 +71,29 @@ def type_b_job(job_id: str, n_workers: int) -> JobSpec:
     )
 
 
+def _base_placements() -> List[Tuple[JobSpec, List[str]]]:
+    """Resident and filler placements, in arrival order."""
+    placements: List[Tuple[JobSpec, List[str]]] = [
+        # Resident A spans racks 0-1 (2 GPUs each side).
+        (type_a_job("A-res", 4), ["h0_0", "h0_0", "h1_0", "h1_0"]),
+        # Resident B spans racks 2-3 (2 GPUs each side).
+        (type_b_job("B-res", 4), ["h2_0", "h2_0", "h3_0", "h3_0"]),
+    ]
+    # Rack-local fillers fragment the free space (no network traffic).
+    for job_id, hosts in [
+        ("fill-r0", ["h0_1", "h0_1"]),
+        ("fill-r2", ["h2_1"]),
+    ]:
+        spec = JobSpec(
+            job_id=job_id,
+            compute_time=ms(200),
+            comm_bytes=1.0,  # placeholder; single-host jobs send nothing
+            n_workers=len(hosts),
+        )
+        placements.append((spec, hosts))
+    return placements
+
+
 def build_cluster() -> Tuple[ClusterState, JobSpec]:
     """The fragmented cluster with residents placed; returns the newcomer.
 
@@ -89,29 +114,49 @@ def build_cluster() -> Tuple[ClusterState, JobSpec]:
     cluster = ClusterState(
         topology, gpus_per_host=4, router=Router(topology)
     )
-    # Resident A spans racks 0-1 (2 GPUs each side).
-    cluster.place(
-        type_a_job("A-res", 4), ["h0_0", "h0_0", "h1_0", "h1_0"]
-    )
-    # Resident B spans racks 2-3 (2 GPUs each side).
-    cluster.place(
-        type_b_job("B-res", 4), ["h2_0", "h2_0", "h3_0", "h3_0"]
-    )
-    # Rack-local fillers fragment the free space (no network traffic).
-    fillers = [
-        ("fill-r0", ["h0_1", "h0_1"]),
-        ("fill-r2", ["h2_1"]),
-    ]
-    for job_id, hosts in fillers:
-        spec = JobSpec(
-            job_id=job_id,
-            compute_time=ms(200),
-            comm_bytes=1.0,  # placeholder; single-host jobs send nothing
-            n_workers=len(hosts),
-        )
+    for spec, hosts in _base_placements():
         cluster.place(spec, hosts)
     newcomer = type_a_job("A-new", 8)
     return cluster, newcomer
+
+
+def _cluster_spec(
+    topology: Topology,
+    placements: List[Tuple[JobSpec, List[str]]],
+    gpus_per_host: int,
+    n_iterations: int,
+    seed: int,
+    label: str,
+) -> RunSpec:
+    """A declarative cluster-backend run of already-decided placements."""
+    return RunSpec(
+        backend="cluster",
+        label=label,
+        seed=seed,
+        policy=AdaptiveUnfair(),
+        topology=topology,
+        n_iterations=n_iterations,
+        capacity=EFFECTIVE_BOTTLENECK,
+        options=(
+            (
+                "placements",
+                tuple(
+                    (spec, tuple(hosts)) for spec, hosts in placements
+                ),
+            ),
+            ("gpus_per_host", gpus_per_host),
+        ),
+    )
+
+
+def _report_from_data(data: Dict[str, object]) -> ClusterReport:
+    """Rebuild the cluster report from a run result's plain data."""
+    return ClusterReport(
+        iteration_ms=dict(data["iteration_ms"]),
+        solo_ms=dict(data["solo_ms"]),
+        slowdown=dict(data["slowdown"]),
+        policy_name=str(data["policy_name"]),
+    )
 
 
 @dataclass
@@ -157,7 +202,8 @@ def run_policies(
             ConsolidatedPlacement(),
             CompatibilityAwarePlacement(),
         ]
-    outcomes: List[PolicyOutcome] = []
+    prepared: List[Tuple[PlacementPolicy, int, List[str]]] = []
+    specs: List[RunSpec] = []
     for policy in policies:
         cluster, newcomer = build_cluster()
         hosts = policy.place(cluster, newcomer, newcomer.n_workers)
@@ -165,10 +211,21 @@ def run_policies(
         racks = sorted(
             {cluster.topology.rack_of(host) or "?" for host in hosts}
         )
-        simulation = ClusterSimulation(
-            cluster, reference_capacity=EFFECTIVE_BOTTLENECK, seed=seed
+        specs.append(
+            _cluster_spec(
+                cluster.topology,
+                _base_placements() + [(newcomer, list(hosts))],
+                gpus_per_host=4,
+                n_iterations=n_iterations,
+                seed=seed,
+                label=f"scheduler-{policy.name}",
+            )
         )
-        report = simulation.run(AdaptiveUnfair(), n_iterations=n_iterations)
+        prepared.append((policy, _mixed_links(cluster), racks))
+    results = run_many(specs)
+    outcomes: List[PolicyOutcome] = []
+    for (policy, mixed, racks), run_result in zip(prepared, results):
+        report = _report_from_data(run_result.data)
         # Fillers run at solo speed by construction; report network jobs.
         for filler in ("fill-r0", "fill-r2"):
             report.slowdown.pop(filler, None)
@@ -178,7 +235,7 @@ def run_policies(
             PolicyOutcome(
                 policy_name=policy.name,
                 report=report,
-                mixed_links=_mixed_links(cluster),
+                mixed_links=mixed,
                 newcomer_racks=racks,
             )
         )
@@ -213,14 +270,13 @@ def run_large_scale(
     difference. Jobs that do not fit are skipped (all policies see the
     same arrival sequence).
     """
-    from ..sim.rng import RandomStreams
-
     policies: List[PlacementPolicy] = [
         RandomPlacement(seed=seed),
         ConsolidatedPlacement(),
         CompatibilityAwarePlacement(),
     ]
-    outcomes: List[PolicyOutcome] = []
+    prepared: List[Tuple[PlacementPolicy, int, int]] = []
+    specs: List[RunSpec] = []
     for policy in policies:
         rng = RandomStreams(seed).get("large-scale")
         topology = Topology.leaf_spine(
@@ -233,7 +289,7 @@ def run_large_scale(
         cluster = ClusterState(
             topology, gpus_per_host=gpus_per_host, router=Router(topology)
         )
-        placed = 0
+        placements: List[Tuple[JobSpec, List[str]]] = []
         for index in range(n_jobs):
             workers = int(rng.choice([6, 10, 12]))
             if index % 2 == 0:
@@ -245,18 +301,26 @@ def run_large_scale(
             except Exception:
                 continue
             cluster.place(spec, hosts)
-            placed += 1
-        simulation = ClusterSimulation(
-            cluster, reference_capacity=EFFECTIVE_BOTTLENECK, seed=seed
+            placements.append((spec, list(hosts)))
+        specs.append(
+            _cluster_spec(
+                topology,
+                placements,
+                gpus_per_host=gpus_per_host,
+                n_iterations=n_iterations,
+                seed=seed,
+                label=f"scheduler-large-{policy.name}",
+            )
         )
-        report_ = simulation.run(
-            AdaptiveUnfair(), n_iterations=n_iterations
-        )
+        prepared.append((policy, _mixed_links(cluster), len(placements)))
+    results = run_many(specs)
+    outcomes: List[PolicyOutcome] = []
+    for (policy, mixed, placed), run_result in zip(prepared, results):
         outcomes.append(
             PolicyOutcome(
                 policy_name=policy.name,
-                report=report_,
-                mixed_links=_mixed_links(cluster),
+                report=_report_from_data(run_result.data),
+                mixed_links=mixed,
                 newcomer_racks=[f"{placed} jobs"],
             )
         )

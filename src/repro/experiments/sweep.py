@@ -13,10 +13,16 @@ The shape is the paper's story quantified: below ~50% communication
 fraction equal-period pairs are always compatible and the payoff grows
 linearly with the fraction; past 50% full compatibility collapses and
 only partial relief remains.
+
+Each fraction level is one :class:`~repro.runner.spec.RunSpec` against a
+sweep-specific backend, with its own derived seed — so
+``repro-experiments run sweep --jobs N`` evaluates the levels in
+parallel without changing any level's sample stream.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -26,7 +32,18 @@ from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..core.circle import JobCircle
 from ..core.optimize import exact_pair_feasible_rotations
+from ..runner import (
+    RunResult,
+    RunSpec,
+    derive_seed,
+    register,
+    run_many,
+    safe_content_hash,
+)
 from ..sim.rng import RandomStreams
+
+#: Registry name of the point evaluator below.
+SWEEP_BACKEND = "sweep-point"
 
 
 @dataclass
@@ -37,7 +54,8 @@ class SweepPoint:
         comm_fraction: Target communication fraction of both jobs.
         compatible_rate: Fraction of sampled pairs fully compatible.
         mean_speedup: Mean fair-lockstep-over-interleaved speedup across
-            compatible pairs (1.0 when none were compatible).
+            compatible pairs (NaN when none were compatible — "no data",
+            deliberately distinct from "no payoff").
     """
 
     comm_fraction: float
@@ -74,17 +92,17 @@ def _pair_speedup(circles: Sequence[JobCircle]) -> float:
     return fair / interleaved
 
 
-def run(
-    fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.55,
-                                  0.6, 0.7),
-    pairs_per_point: int = 60,
-    same_period: bool = True,
-    seed: int = 0,
-) -> List[SweepPoint]:
-    """Sweep communication fraction and sample pair compatibility."""
-    rng = RandomStreams(seed).get("sweep")
-    points: List[SweepPoint] = []
-    for fraction in fractions:
+class SweepPointBackend:
+    """Evaluates one communication-fraction level of the sweep."""
+
+    name = SWEEP_BACKEND
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        options = spec.options_dict()
+        fraction = float(options["comm_fraction"])
+        pairs_per_point = int(options["pairs_per_point"])
+        same_period = bool(options["same_period"])
+        rng = RandomStreams(spec.seed).get("sweep")
         compatible = 0
         speedups: List[float] = []
         for _ in range(pairs_per_point):
@@ -93,25 +111,81 @@ def run(
             if not feasible.is_empty:
                 compatible += 1
                 speedups.append(_pair_speedup(circles))
-        points.append(
-            SweepPoint(
-                comm_fraction=fraction,
-                compatible_rate=compatible / pairs_per_point,
-                mean_speedup=(
-                    float(np.mean(speedups)) if speedups else 1.0
+        return RunResult(
+            spec_hash=safe_content_hash(spec),
+            backend=self.name,
+            label=spec.label,
+            data={
+                "comm_fraction": fraction,
+                "compatible_rate": compatible / pairs_per_point,
+                "mean_speedup": (
+                    float(np.mean(speedups))
+                    if speedups
+                    else float("nan")
                 ),
-            )
+            },
         )
-    return points
+
+
+register(SWEEP_BACKEND, SweepPointBackend(), replace=True)
+
+
+def point_specs(
+    fractions: Sequence[float],
+    pairs_per_point: int,
+    same_period: bool,
+    seed: int,
+) -> List[RunSpec]:
+    """One spec per fraction level, each with its own derived seed."""
+    kind = "eq" if same_period else "mix"
+    return [
+        RunSpec(
+            backend=SWEEP_BACKEND,
+            backend_module="repro.experiments.sweep",
+            label=f"sweep-{kind}-{fraction:g}",
+            seed=derive_seed(seed, f"sweep:{kind}:{fraction!r}"),
+            options=(
+                ("comm_fraction", float(fraction)),
+                ("pairs_per_point", int(pairs_per_point)),
+                ("same_period", bool(same_period)),
+            ),
+        )
+        for fraction in fractions
+    ]
+
+
+def run(
+    fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.55,
+                                  0.6, 0.7),
+    pairs_per_point: int = 60,
+    same_period: bool = True,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Sweep communication fraction and sample pair compatibility."""
+    results = run_many(
+        point_specs(fractions, pairs_per_point, same_period, seed)
+    )
+    return [
+        SweepPoint(
+            comm_fraction=result.data["comm_fraction"],
+            compatible_rate=result.data["compatible_rate"],
+            mean_speedup=result.data["mean_speedup"],
+        )
+        for result in results
+    ]
 
 
 def report(points: Sequence[SweepPoint]) -> str:
-    """Render the sweep."""
+    """Render the sweep (``—`` marks levels with no compatible pairs)."""
     rows = [
         (
             f"{p.comm_fraction:.0%}",
             f"{p.compatible_rate:.0%}",
-            f"{p.mean_speedup:.2f}x",
+            (
+                "—"
+                if math.isnan(p.mean_speedup)
+                else f"{p.mean_speedup:.2f}x"
+            ),
         )
         for p in points
     ]

@@ -18,8 +18,10 @@ from ..analysis.report import ascii_table
 from ..cc.fair import FairSharing
 from ..cc.weighted import StaticWeighted
 from ..core.compatibility import CompatibilityChecker, CompatibilityResult
+from ..net.phasesim import SimulationResult
+from ..runner import RunSpec, run_many
 from ..workloads.profiles import Table1Group, table1_groups
-from .common import PairedRun, run_jobs
+from .common import PairedRun, phase_spec
 
 
 @dataclass
@@ -58,24 +60,41 @@ class Table1GroupResult:
         return self.compatibility.compatible == self.group.paper_compatible
 
 
-def run_group(
+def _group_specs(
     group: Table1Group,
-    n_iterations: int = 60,
-    skip: int = 15,
-    weight_ratio: float = 2.0,
-    seed: int = 0,
+    n_iterations: int,
+    weight_ratio: float,
+    seed: int,
+) -> List[RunSpec]:
+    """The fair and unfair run specs for one group."""
+    job_ids = [spec.job_id for spec in group.specs]
+    return [
+        phase_spec(
+            group.specs,
+            FairSharing(),
+            n_iterations=n_iterations,
+            seed=seed,
+            label=f"table1-{group.name}-fair",
+        ),
+        phase_spec(
+            group.specs,
+            StaticWeighted.from_aggressiveness_order(job_ids, weight_ratio),
+            n_iterations=n_iterations,
+            seed=seed,
+            label=f"table1-{group.name}-unfair",
+        ),
+    ]
+
+
+def _assemble_group(
+    group: Table1Group,
+    fair: SimulationResult,
+    unfair: SimulationResult,
+    skip: int,
 ) -> Table1GroupResult:
-    """Check and simulate one Table 1 group."""
-    specs = group.specs
-    job_ids = [spec.job_id for spec in specs]
-    compatibility = CompatibilityChecker().check(specs)
-    fair = run_jobs(specs, FairSharing(), n_iterations=n_iterations, seed=seed)
-    unfair = run_jobs(
-        specs,
-        StaticWeighted.from_aggressiveness_order(job_ids, weight_ratio),
-        n_iterations=n_iterations,
-        seed=seed,
-    )
+    """Build the group verdict from its completed runs."""
+    job_ids = [spec.job_id for spec in group.specs]
+    compatibility = CompatibilityChecker().check(group.specs)
     paired = PairedRun(fair=fair, unfair=unfair, job_ids=job_ids)
     rows = []
     for entry in group.entries:
@@ -94,16 +113,45 @@ def run_group(
     )
 
 
+def run_group(
+    group: Table1Group,
+    n_iterations: int = 60,
+    skip: int = 15,
+    weight_ratio: float = 2.0,
+    seed: int = 0,
+) -> Table1GroupResult:
+    """Check and simulate one Table 1 group."""
+    fair, unfair = run_many(
+        _group_specs(group, n_iterations, weight_ratio, seed)
+    )
+    return _assemble_group(group, fair.phase, unfair.phase, skip)
+
+
 def run_all(
     n_iterations: int = 60,
     skip: int = 15,
     seed: int = 0,
+    weight_ratio: float = 2.0,
 ) -> List[Table1GroupResult]:
-    """Check and simulate every Table 1 group."""
-    return [
-        run_group(group, n_iterations=n_iterations, skip=skip, seed=seed)
-        for group in table1_groups()
+    """Check and simulate every Table 1 group.
+
+    All ten runs (five groups x fair/unfair) go through one
+    :func:`run_many` call, so ``--jobs N`` parallelizes the whole table.
+    """
+    groups = table1_groups()
+    specs = [
+        spec
+        for group in groups
+        for spec in _group_specs(group, n_iterations, weight_ratio, seed)
     ]
+    results = run_many(specs)
+    assembled = []
+    for index, group in enumerate(groups):
+        fair, unfair = results[2 * index], results[2 * index + 1]
+        assembled.append(
+            _assemble_group(group, fair.phase, unfair.phase, skip)
+        )
+    return assembled
 
 
 def report(results: List[Table1GroupResult]) -> str:

@@ -14,9 +14,24 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Union
 
+import numpy as np
+
+from .cc.adaptive import AdaptiveUnfair
+from .cc.fair import FairSharing
+from .cc.priority import PrioritySharing
+from .cc.weighted import StaticWeighted
 from .core.circle import JobCircle
 from .core.compatibility import CompatibilityResult
 from .errors import ConfigError
+from .mechanisms.flow_scheduling import PeriodicGate
+from .net.phasesim import (
+    IterationRecord,
+    JobRun,
+    JobState,
+    SimulationResult,
+)
+from .net.topology import NodeKind, Topology
+from .sim.trace import StepFunction, TimeSeries
 from .telemetry.trace import TraceRecord
 from .workloads.job import JobSpec
 
@@ -244,6 +259,520 @@ def load_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     document = json.loads(Path(path).read_text())
     _check_version(document)
     return document
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    """Serialize a topology (nodes and directed links, insertion order)."""
+    return {
+        "version": FORMAT_VERSION,
+        "nodes": [[node.name, node.kind.value] for node in topology.nodes],
+        "links": [
+            [link.src, link.dst, link.capacity, link.name]
+            for link in topology.links
+        ],
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    """Deserialize a topology (exact: every directed link is explicit)."""
+    _check_version(data)
+    topology = Topology()
+    try:
+        for name, kind in data["nodes"]:
+            topology.add_node(name, NodeKind(kind))
+        for src, dst, capacity, name in data["links"]:
+            topology.add_link(
+                src, dst, float(capacity), name=name, bidirectional=False
+            )
+    except (KeyError, ValueError) as exc:
+        raise ConfigError(f"bad topology document: {exc}") from exc
+    return topology
+
+
+# ---------------------------------------------------------------------------
+# Share policies
+# ---------------------------------------------------------------------------
+
+def policy_to_dict(policy: Any) -> Dict[str, Any]:
+    """Serialize one of the library's share policies.
+
+    Raises:
+        ConfigError: for policy types the codec does not know — such
+            specs are executable but not cacheable.
+    """
+    if isinstance(policy, FairSharing):
+        return {"kind": "fair"}
+    if isinstance(policy, StaticWeighted):
+        return {
+            "kind": "static-weighted",
+            "weights": policy.weights,
+            "default": policy.default_weight,
+        }
+    if isinstance(policy, AdaptiveUnfair):
+        return {
+            "kind": "adaptive-unfair",
+            "gain": policy.gain,
+            "exponent": policy.exponent,
+            "base_weight": policy.base_weight,
+            "reallocation_interval": policy.reallocation_interval,
+        }
+    if isinstance(policy, PrioritySharing):
+        return {
+            "kind": "priority",
+            "priorities": policy.priorities,
+            "default": policy.default_priority,
+        }
+    raise ConfigError(
+        f"cannot serialize policy of type {type(policy).__name__}"
+    )
+
+
+def policy_from_dict(data: Dict[str, Any]) -> Any:
+    """Deserialize a share policy."""
+    kind = data.get("kind")
+    if kind == "fair":
+        return FairSharing()
+    if kind == "static-weighted":
+        return StaticWeighted(
+            {k: float(v) for k, v in data["weights"].items()},
+            default=float(data.get("default", 1.0)),
+        )
+    if kind == "adaptive-unfair":
+        return AdaptiveUnfair(
+            gain=float(data["gain"]),
+            exponent=float(data["exponent"]),
+            base_weight=float(data["base_weight"]),
+            reallocation_interval=float(data["reallocation_interval"]),
+        )
+    if kind == "priority":
+        return PrioritySharing(
+            {k: int(v) for k, v in data["priorities"].items()},
+            default=int(data.get("default", 0)),
+        )
+    raise ConfigError(f"unknown policy kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Gates
+# ---------------------------------------------------------------------------
+
+def gate_to_dict(gate: Any) -> Dict[str, Any]:
+    """Serialize a flow-scheduling gate (periodic gates only)."""
+    if isinstance(gate, PeriodicGate):
+        return {"kind": "periodic", **gate.to_state()}
+    raise ConfigError(
+        f"cannot serialize gate of type {type(gate).__name__}"
+    )
+
+
+def gate_from_dict(data: Dict[str, Any]) -> PeriodicGate:
+    """Deserialize a flow-scheduling gate."""
+    if data.get("kind") != "periodic":
+        raise ConfigError(f"unknown gate kind {data.get('kind')!r}")
+    return PeriodicGate.from_state(data)
+
+
+# ---------------------------------------------------------------------------
+# Time series and step functions
+# ---------------------------------------------------------------------------
+
+def step_function_to_dict(fn: StepFunction) -> Dict[str, Any]:
+    """Serialize a step function via its minimal breakpoint list."""
+    return {
+        "name": fn.name,
+        "initial": fn._initial,
+        "points": [list(pair) for pair in fn.breakpoints()],
+    }
+
+
+def step_function_from_dict(data: Dict[str, Any]) -> StepFunction:
+    """Exact inverse of :func:`step_function_to_dict`.
+
+    Breakpoints are restored verbatim (not replayed through ``set``,
+    whose no-op skipping could drop an overwrite-created breakpoint).
+    """
+    fn = StepFunction(float(data["initial"]), name=data.get("name", ""))
+    fn._times = [float(t) for t, _ in data["points"]]
+    fn._values = [float(v) for _, v in data["points"]]
+    return fn
+
+
+def time_series_to_dict(series: TimeSeries) -> Dict[str, Any]:
+    """Serialize an irregular time series."""
+    return {
+        "name": series.name,
+        "times": list(series._times),
+        "values": list(series._values),
+    }
+
+
+def time_series_from_dict(data: Dict[str, Any]) -> TimeSeries:
+    """Deserialize an irregular time series."""
+    series = TimeSeries(name=data.get("name", ""))
+    series._times = [float(t) for t in data["times"]]
+    series._values = [float(v) for v in data["values"]]
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Phase-level results
+# ---------------------------------------------------------------------------
+
+def job_run_to_dict(run: JobRun) -> Dict[str, Any]:
+    """Serialize a completed job run (flows/gate/rng are not carried)."""
+    return {
+        "spec": job_spec_to_dict(run.spec),
+        "n_iterations": run.n_iterations,
+        "start_offset": run.start_offset,
+        "state": run.state.value,
+        "iterations_done": run.iterations_done,
+        "records": [
+            [r.index, r.start, r.comm_start, r.end] for r in run.records
+        ],
+        "rate_trace": step_function_to_dict(run.rate_trace),
+    }
+
+
+def job_run_from_dict(data: Dict[str, Any]) -> JobRun:
+    """Deserialize a job run (as a result container: no flows, no rng)."""
+    run = JobRun(
+        spec=job_spec_from_dict(data["spec"]),
+        flows=[],
+        n_iterations=int(data["n_iterations"]),
+        start_offset=float(data["start_offset"]),
+        gate=None,
+        rng=np.random.default_rng(0),
+    )
+    run.state = JobState(data["state"])
+    run.iterations_done = int(data["iterations_done"])
+    run.records = [
+        IterationRecord(
+            index=int(index),
+            start=float(start),
+            comm_start=float(comm_start),
+            end=float(end),
+        )
+        for index, start, comm_start, end in data["records"]
+    ]
+    run.rate_trace = step_function_from_dict(data["rate_trace"])
+    return run
+
+
+def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Serialize a phase-level simulation result."""
+    return {
+        "jobs": {
+            job_id: job_run_to_dict(run)
+            for job_id, run in sorted(result.jobs.items())
+        },
+        "link_loads": {
+            name: step_function_to_dict(fn)
+            for name, fn in sorted(result.link_loads.items())
+        },
+        "duration": result.duration,
+    }
+
+
+def simulation_result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Deserialize a phase-level simulation result."""
+    return SimulationResult(
+        jobs={
+            job_id: job_run_from_dict(entry)
+            for job_id, entry in data["jobs"].items()
+        },
+        link_loads={
+            name: step_function_from_dict(entry)
+            for name, entry in data["link_loads"].items()
+        },
+        duration=float(data["duration"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fluid (DCQCN) results
+# ---------------------------------------------------------------------------
+
+def dcqcn_result_to_dict(result: Any) -> Dict[str, Any]:
+    """Serialize a :class:`repro.cc.dcqcn.DcqcnResult`."""
+    return {
+        "rate_series": {
+            name: time_series_to_dict(series)
+            for name, series in sorted(result.rate_series.items())
+        },
+        "queue_series": time_series_to_dict(result.queue_series),
+        "duration": result.duration,
+    }
+
+
+def dcqcn_result_from_dict(data: Dict[str, Any]) -> Any:
+    """Deserialize a DCQCN fluid result."""
+    from .cc.dcqcn import DcqcnResult
+
+    return DcqcnResult(
+        rate_series={
+            name: time_series_from_dict(entry)
+            for name, entry in data["rate_series"].items()
+        },
+        queue_series=time_series_from_dict(data["queue_series"]),
+        duration=float(data["duration"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Run specs and results
+# ---------------------------------------------------------------------------
+
+def _encode_option(value: Any) -> Any:
+    """Encode one backend option value as JSON-able data.
+
+    Primitives pass through; sequences become lists; mappings keep
+    string keys; job specs are tagged so they round-trip.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, JobSpec):
+        return {"__jobspec__": job_spec_to_dict(value)}
+    if isinstance(value, (list, tuple)):
+        return [_encode_option(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _encode_option(v) for k, v in value.items()}
+    raise ConfigError(
+        f"cannot serialize option value of type {type(value).__name__}"
+    )
+
+
+def _decode_option(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__jobspec__" in value:
+            return job_spec_from_dict(value["__jobspec__"])
+        return {k: _decode_option(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_option(item) for item in value]
+    return value
+
+
+def sender_spec_to_dict(sender: Any) -> Dict[str, Any]:
+    """Serialize a fluid-backend sender spec."""
+    return {
+        "name": sender.name,
+        "timer": sender.timer,
+        "data_bytes": sender.data_bytes,
+        "compute_time": sender.compute_time,
+        "comm_bytes": sender.comm_bytes,
+        "start_offset": sender.start_offset,
+        "stream": sender.stream,
+    }
+
+
+def sender_spec_from_dict(data: Dict[str, Any]) -> Any:
+    """Deserialize a fluid-backend sender spec."""
+    from .runner.spec import SenderSpec
+
+    return SenderSpec(
+        name=data["name"],
+        timer=float(data["timer"]),
+        data_bytes=(
+            None if data.get("data_bytes") is None
+            else float(data["data_bytes"])
+        ),
+        compute_time=(
+            None if data.get("compute_time") is None
+            else float(data["compute_time"])
+        ),
+        comm_bytes=(
+            None if data.get("comm_bytes") is None
+            else float(data["comm_bytes"])
+        ),
+        start_offset=float(data.get("start_offset", 0.0)),
+        stream=data.get("stream", ""),
+    )
+
+
+def run_spec_to_dict(spec: Any) -> Dict[str, Any]:
+    """Serialize a :class:`repro.runner.spec.RunSpec`.
+
+    Raises:
+        ConfigError: when the spec holds something the codecs cannot
+            express (ad-hoc gates, unknown policies, odd option values).
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "backend": spec.backend,
+        "label": spec.label,
+        "seed": spec.seed,
+        "jobs": [job_spec_to_dict(job) for job in spec.jobs],
+        "policy": (
+            None if spec.policy is None else policy_to_dict(spec.policy)
+        ),
+        "topology": (
+            None if spec.topology is None
+            else topology_to_dict(spec.topology)
+        ),
+        "n_iterations": spec.n_iterations,
+        "capacity": spec.capacity,
+        "start_offsets": [
+            [job_id, offset] for job_id, offset in spec.start_offsets
+        ],
+        "gates": [
+            [job_id, gate_to_dict(gate)] for job_id, gate in spec.gates
+        ],
+        "until": spec.until,
+        "duration": spec.duration,
+        "scenarios": [
+            {
+                "name": scenario.name,
+                "senders": [
+                    sender_spec_to_dict(sender)
+                    for sender in scenario.senders
+                ],
+            }
+            for scenario in spec.scenarios
+        ],
+        "options": [
+            [key, _encode_option(value)] for key, value in spec.options
+        ],
+        "backend_module": spec.backend_module,
+    }
+
+
+def run_spec_from_dict(data: Dict[str, Any]) -> Any:
+    """Deserialize a run spec."""
+    from .runner.spec import RunSpec, ScenarioSpec
+
+    _check_version(data)
+    return RunSpec(
+        backend=data["backend"],
+        label=data.get("label", ""),
+        seed=int(data.get("seed", 0)),
+        jobs=tuple(
+            job_spec_from_dict(entry) for entry in data.get("jobs", [])
+        ),
+        policy=(
+            None if data.get("policy") is None
+            else policy_from_dict(data["policy"])
+        ),
+        topology=(
+            None if data.get("topology") is None
+            else topology_from_dict(data["topology"])
+        ),
+        n_iterations=int(data.get("n_iterations", 0)),
+        capacity=float(data.get("capacity", 0.0)),
+        start_offsets=tuple(
+            (job_id, float(offset))
+            for job_id, offset in data.get("start_offsets", [])
+        ),
+        gates=tuple(
+            (job_id, gate_from_dict(entry))
+            for job_id, entry in data.get("gates", [])
+        ),
+        until=(
+            None if data.get("until") is None else float(data["until"])
+        ),
+        duration=float(data.get("duration", 0.0)),
+        scenarios=tuple(
+            ScenarioSpec(
+                name=entry["name"],
+                senders=tuple(
+                    sender_spec_from_dict(sender)
+                    for sender in entry["senders"]
+                ),
+            )
+            for entry in data.get("scenarios", [])
+        ),
+        options=tuple(
+            (key, _decode_option(value))
+            for key, value in data.get("options", [])
+        ),
+        backend_module=data.get("backend_module", ""),
+    )
+
+
+def fluid_scenario_result_to_dict(scenario: Any) -> Dict[str, Any]:
+    """Serialize one fluid scenario result."""
+    return {
+        "trace": dcqcn_result_to_dict(scenario.trace),
+        "iteration_starts": {
+            name: list(values)
+            for name, values in sorted(scenario.iteration_starts.items())
+        },
+        "iteration_ends": {
+            name: list(values)
+            for name, values in sorted(scenario.iteration_ends.items())
+        },
+        "comm_starts": {
+            name: list(values)
+            for name, values in sorted(scenario.comm_starts.items())
+        },
+    }
+
+
+def fluid_scenario_result_from_dict(data: Dict[str, Any]) -> Any:
+    """Deserialize one fluid scenario result."""
+    from .runner.spec import FluidScenarioResult
+
+    return FluidScenarioResult(
+        trace=dcqcn_result_from_dict(data["trace"]),
+        iteration_starts={
+            name: [float(v) for v in values]
+            for name, values in data["iteration_starts"].items()
+        },
+        iteration_ends={
+            name: [float(v) for v in values]
+            for name, values in data["iteration_ends"].items()
+        },
+        comm_starts={
+            name: [float(v) for v in values]
+            for name, values in data["comm_starts"].items()
+        },
+    )
+
+
+def run_result_to_dict(result: Any) -> Dict[str, Any]:
+    """Serialize a :class:`repro.runner.spec.RunResult`.
+
+    The ``data`` payload must already be JSON-able; backend adapters
+    keep it that way by construction.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "spec_hash": result.spec_hash,
+        "backend": result.backend,
+        "label": result.label,
+        "phase": (
+            None if result.phase is None
+            else simulation_result_to_dict(result.phase)
+        ),
+        "fluid": {
+            name: fluid_scenario_result_to_dict(scenario)
+            for name, scenario in sorted(result.fluid.items())
+        },
+        "data": result.data,
+    }
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> Any:
+    """Deserialize a run result."""
+    from .runner.spec import RunResult
+
+    _check_version(data)
+    return RunResult(
+        spec_hash=data["spec_hash"],
+        backend=data["backend"],
+        label=data.get("label", ""),
+        phase=(
+            None if data.get("phase") is None
+            else simulation_result_from_dict(data["phase"])
+        ),
+        fluid={
+            name: fluid_scenario_result_from_dict(entry)
+            for name, entry in data.get("fluid", {}).items()
+        },
+        data=dict(data.get("data", {})),
+    )
 
 
 def _check_version(data: Dict[str, Any]) -> None:

@@ -55,6 +55,32 @@ class PeriodicGate:
             for window in windows
         )
 
+    def to_state(self) -> Dict[str, object]:
+        """The gate's resolved timing state (seconds, not ticks)."""
+        return {
+            "period": self.period,
+            "epoch": self.epoch,
+            "openings": [list(pair) for pair in self._openings],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "PeriodicGate":
+        """Rebuild a gate from :meth:`to_state` output."""
+        gate = cls.__new__(cls)
+        gate.period = float(state["period"])
+        gate.epoch = float(state["epoch"])
+        gate._openings = [
+            (float(start), float(end)) for start, end in state["openings"]
+        ]
+        if not gate._openings or gate.period <= 0:
+            raise ConfigError("invalid gate state")
+        return gate
+
+    def __reduce__(self):
+        # Pickle via the resolved state: gates cross process boundaries
+        # when the runner fans flow-scheduling specs out to workers.
+        return (PeriodicGate.from_state, (self.to_state(),))
+
     def __call__(self, job_id: str, now: float) -> float:
         """Earliest admissible communication start at or after ``now``."""
         phase = (now - self.epoch) % self.period

@@ -1,0 +1,480 @@
+"""The backend registry: one ``execute(spec) -> RunResult`` protocol.
+
+Built-in backends adapt the library's three simulators:
+
+* ``phase``  — :class:`repro.net.phasesim.PhaseLevelSimulator`, the exact
+  event-driven phase model behind Table 1 / Figures 1d and 2.
+* ``fluid``  — :class:`repro.cc.dcqcn.DcqcnFluidSimulator`, the
+  microsecond-scale DCQCN state machine (Figures 1b/1c, cross-fidelity).
+* ``engine`` — a deliberately small on-off model driven directly by
+  :class:`repro.sim.engine.Simulator`: one shared bottleneck, weighted
+  proportional sharing, no routing. The cheapest fidelity tier, useful
+  for sanity-checking the phase backend and for very large sweeps.
+* ``cluster`` — :class:`repro.scheduler.simulation.ClusterSimulation`
+  over a declarative list of placements (the scheduler experiments).
+
+Experiment modules may :func:`register` additional backends (e.g. the
+population-sweep point evaluator). A spec's ``backend_module`` names the
+module to import before lookup, so worker processes that never imported
+the experiment module still resolve its backend.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Optional, Protocol
+
+from ..errors import ConfigError, SimulationError
+from ..net.phasesim import (
+    IterationRecord,
+    JobRun,
+    JobState,
+    PhaseLevelSimulator,
+    SimulationResult,
+)
+from ..net.routing import Router
+from ..net.topology import Topology
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from ..sim.trace import StepFunction
+from ..units import gbps
+from ..workloads.profiles import EFFECTIVE_BOTTLENECK
+from .spec import (
+    FluidScenarioResult,
+    RunResult,
+    RunSpec,
+    safe_content_hash,
+)
+
+#: Name of the shared bottleneck link in generated dumbbells (matches
+#: ``repro.experiments.common.BOTTLENECK``).
+BOTTLENECK_LINK = "L1"
+
+
+class Backend(Protocol):
+    """What the registry stores: a named spec executor."""
+
+    name: str
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        """Run one spec to completion and return its result."""
+        ...
+
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register(name: str, backend: Backend, replace: bool = False) -> None:
+    """Add a backend to the registry.
+
+    Module-level registrations should pass ``replace=True`` so repeated
+    imports (parent process, pool workers) stay idempotent.
+    """
+    if not name:
+        raise ConfigError("backend name must be non-empty")
+    if name in _REGISTRY and not replace:
+        raise ConfigError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend {name!r} (registered: {backend_names()})"
+        ) from None
+
+
+def resolve_backend(spec: RunSpec) -> Backend:
+    """The backend executing ``spec``, importing its module if needed."""
+    if spec.backend not in _REGISTRY and spec.backend_module:
+        importlib.import_module(spec.backend_module)
+    return get_backend(spec.backend)
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Resolve and run one spec (no pool, no cache)."""
+    return resolve_backend(spec).execute(spec)
+
+
+def dumbbell_topology(n_jobs: int, capacity: float) -> Topology:
+    """The default phase-backend topology: one host pair per job,
+    all pairs sharing the bottleneck :data:`BOTTLENECK_LINK`."""
+    if n_jobs < 1:
+        raise ConfigError("need at least one job")
+    return Topology.dumbbell(
+        hosts_per_side=n_jobs,
+        host_capacity=capacity,
+        bottleneck_capacity=capacity,
+        bottleneck_name=BOTTLENECK_LINK,
+    )
+
+
+def _detach_events(result: SimulationResult) -> SimulationResult:
+    """Drop scheduler-event references so the result pickles cleanly."""
+    for run in result.jobs.values():
+        run._finish_event = None
+    return result
+
+
+# ---------------------------------------------------------------------------
+# phase
+# ---------------------------------------------------------------------------
+
+class PhaseBackend:
+    """Adapter for the exact phase-level simulator."""
+
+    name = "phase"
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        if not spec.jobs:
+            raise ConfigError("phase backend needs job specs")
+        if spec.policy is None:
+            raise ConfigError("phase backend needs a share policy")
+        if spec.n_iterations < 1:
+            raise ConfigError("phase backend needs n_iterations >= 1")
+        capacity = spec.capacity or EFFECTIVE_BOTTLENECK
+        topology = spec.topology or dumbbell_topology(
+            len(spec.jobs), capacity
+        )
+        sim = PhaseLevelSimulator(topology, spec.policy, seed=spec.seed)
+        offsets = spec.start_offsets_dict()
+        gates = spec.gates_dict()
+        for index, job in enumerate(spec.jobs):
+            sim.add_job(
+                job,
+                src=f"ha{index}",
+                dst=f"hb{index}",
+                n_iterations=spec.n_iterations,
+                start_offset=offsets.get(job.job_id, 0.0),
+                gate=gates.get(job.job_id),
+            )
+        result = _detach_events(sim.run(until=spec.until))
+        return RunResult(
+            spec_hash=safe_content_hash(spec),
+            backend=self.name,
+            label=spec.label,
+            phase=result,
+        )
+
+
+# ---------------------------------------------------------------------------
+# fluid
+# ---------------------------------------------------------------------------
+
+class FluidBackend:
+    """Adapter for the fine-grained DCQCN fluid simulator.
+
+    Scenarios run sequentially over one shared
+    :class:`~repro.sim.rng.RandomStreams` — a sender whose stream name
+    repeats across scenarios continues the same generator, reproducing
+    the exact randomness consumption of the original fair-then-unfair
+    experiment protocol.
+    """
+
+    name = "fluid"
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        from ..cc.dcqcn import (
+            DcqcnFluidSimulator,
+            DcqcnParams,
+            OnOffDcqcnJob,
+        )
+
+        if not spec.scenarios:
+            raise ConfigError("fluid backend needs at least one scenario")
+        if spec.duration <= 0:
+            raise ConfigError("fluid backend needs a positive duration")
+        options = spec.options_dict()
+        capacity = spec.capacity or gbps(50)
+        params = DcqcnParams(line_rate=capacity)
+        streams = RandomStreams(spec.seed)
+        scenarios: Dict[str, FluidScenarioResult] = {}
+        for scenario in spec.scenarios:
+            sim_kwargs = {"capacity": capacity}
+            if "dt" in options:
+                sim_kwargs["dt"] = options["dt"]
+            if "sample_interval" in options:
+                sim_kwargs["sample_interval"] = options["sample_interval"]
+            sim = DcqcnFluidSimulator(**sim_kwargs)
+            jobs: Dict[str, OnOffDcqcnJob] = {}
+            for sender in scenario.senders:
+                rng = streams.get(sender.stream or f"dcqcn:{sender.name}")
+                sender_params = params.with_timer(sender.timer)
+                if sender.compute_time is None:
+                    sim.add_sender(
+                        sender.name,
+                        sender_params,
+                        rng,
+                        data_bytes=sender.data_bytes,
+                    )
+                else:
+                    if sender.comm_bytes is None:
+                        raise ConfigError(
+                            f"on-off sender {sender.name!r} needs comm_bytes"
+                        )
+                    job = OnOffDcqcnJob(
+                        sender.name,
+                        sender_params,
+                        rng,
+                        compute_time=sender.compute_time,
+                        comm_bytes=sender.comm_bytes,
+                        start_offset=sender.start_offset,
+                    )
+                    jobs[sender.name] = job
+                    sim.add_source(job)
+            trace = sim.run(spec.duration)
+            scenarios[scenario.name] = FluidScenarioResult(
+                trace=trace,
+                iteration_starts={
+                    name: list(job.iteration_starts)
+                    for name, job in jobs.items()
+                },
+                iteration_ends={
+                    name: list(job.iteration_ends)
+                    for name, job in jobs.items()
+                },
+                comm_starts={
+                    name: list(job.comm_starts)
+                    for name, job in jobs.items()
+                },
+            )
+        return RunResult(
+            spec_hash=safe_content_hash(spec),
+            backend=self.name,
+            label=spec.label,
+            fluid=scenarios,
+        )
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+class _EngineJob:
+    """Book-keeping for one job inside the engine backend."""
+
+    __slots__ = ("run", "remaining", "active", "weight")
+
+    def __init__(self, run: JobRun, weight: float) -> None:
+        self.run = run
+        self.remaining = 0.0
+        self.active = False
+        self.weight = weight
+
+
+class EngineBackend:
+    """Low-fidelity on-off model on a single shared bottleneck.
+
+    Jobs alternate compute and communication; communicating jobs split
+    the bottleneck proportionally to their policy weight (plain
+    :class:`~repro.cc.fair.FairSharing` or
+    :class:`~repro.cc.weighted.StaticWeighted`). On a dumbbell this is
+    exactly the phase backend's allocation, at a fraction of the cost —
+    no routing, no per-link bookkeeping, no priorities.
+    """
+
+    name = "engine"
+
+    def _weight(self, spec: RunSpec, job_id: str) -> float:
+        policy = spec.policy
+        if policy is None or policy.name == "fair":
+            return 1.0
+        weight_for_job = getattr(policy, "weight_for_job", None)
+        if weight_for_job is None:
+            raise ConfigError(
+                "engine backend supports fair or static-weighted "
+                f"policies, not {policy.name!r}"
+            )
+        return float(weight_for_job(job_id))
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        if not spec.jobs:
+            raise ConfigError("engine backend needs job specs")
+        if spec.n_iterations < 1:
+            raise ConfigError("engine backend needs n_iterations >= 1")
+        capacity = spec.capacity or EFFECTIVE_BOTTLENECK
+        streams = RandomStreams(spec.seed)
+        sim = Simulator()
+        load = StepFunction(0.0, name=f"load:{BOTTLENECK_LINK}")
+        offsets = spec.start_offsets_dict()
+
+        jobs: List[_EngineJob] = []
+        for job_spec in spec.jobs:
+            run = JobRun(
+                spec=job_spec,
+                flows=[],
+                n_iterations=spec.n_iterations,
+                start_offset=offsets.get(job_spec.job_id, 0.0),
+                gate=None,
+                rng=streams.get(f"job:{job_spec.job_id}"),
+            )
+            jobs.append(_EngineJob(run, self._weight(spec, job_spec.job_id)))
+
+        active: List[_EngineJob] = []
+        rates: Dict[int, float] = {}
+        finish_events: Dict[int, object] = {}
+        last_update = [0.0]
+
+        def advance_progress() -> None:
+            dt = sim.now - last_update[0]
+            if dt > 0:
+                for job in active:
+                    job.remaining -= rates.get(id(job), 0.0) * dt
+            last_update[0] = sim.now
+
+        def reallocate() -> None:
+            advance_progress()
+            total_weight = sum(job.weight for job in active)
+            total_rate = 0.0
+            for job in active:
+                rate = (
+                    capacity * job.weight / total_weight
+                    if total_weight > 0
+                    else 0.0
+                )
+                rates[id(job)] = rate
+                job.run.rate_trace.set(sim.now, rate)
+                total_rate += rate
+                event = finish_events.pop(id(job), None)
+                if event is not None:
+                    sim.cancel(event)
+                if rate > 0:
+                    finish_events[id(job)] = sim.schedule(
+                        max(job.remaining, 0.0) / rate, finish_comm, job
+                    )
+            load.set(sim.now, total_rate)
+
+        def begin_iteration(job: _EngineJob) -> None:
+            run = job.run
+            run.state = JobState.COMPUTE
+            run.iteration_start = sim.now
+            run.compute_factor = run.sample_compute_factor()
+            sim.schedule(
+                run.spec.compute_time * run.compute_factor,
+                begin_comm,
+                job,
+            )
+
+        def begin_comm(job: _EngineJob) -> None:
+            run = job.run
+            run.state = JobState.COMM
+            run.comm_start = sim.now
+            job.remaining = run.spec.comm_bytes
+            job.active = True
+            active.append(job)
+            reallocate()
+
+        def finish_comm(job: _EngineJob) -> None:
+            finish_events.pop(id(job), None)
+            advance_progress()
+            run = job.run
+            active.remove(job)
+            job.active = False
+            rates.pop(id(job), None)
+            run.rate_trace.set(sim.now, 0.0)
+            run.records.append(
+                IterationRecord(
+                    index=run.iterations_done,
+                    start=run.iteration_start,
+                    comm_start=run.comm_start,
+                    end=sim.now,
+                )
+            )
+            run.iterations_done += 1
+            if run.iterations_done >= run.n_iterations:
+                run.state = JobState.DONE
+            else:
+                begin_iteration(job)
+            reallocate()
+
+        for job in jobs:
+            sim.schedule_at(job.run.start_offset, begin_iteration, job)
+        end_time = sim.run(until=spec.until)
+
+        result = SimulationResult(
+            jobs={job.run.job_id: job.run for job in jobs},
+            link_loads={BOTTLENECK_LINK: load},
+            duration=end_time,
+        )
+        return RunResult(
+            spec_hash=safe_content_hash(spec),
+            backend=self.name,
+            label=spec.label,
+            phase=result,
+        )
+
+
+# ---------------------------------------------------------------------------
+# cluster
+# ---------------------------------------------------------------------------
+
+class ClusterBackend:
+    """Adapter for the scheduler's cluster simulation.
+
+    The spec is fully declarative: ``topology`` carries the fabric,
+    ``options["placements"]`` the already-decided ``(JobSpec, hosts)``
+    bindings (placement *decisions* stay in the driver — they are
+    scheduling logic, not simulation). Results come back as plain data
+    so they cache cleanly.
+    """
+
+    name = "cluster"
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        from ..scheduler.cluster import ClusterState
+        from ..scheduler.simulation import ClusterSimulation
+
+        if spec.topology is None:
+            raise ConfigError("cluster backend needs an explicit topology")
+        if spec.policy is None:
+            raise ConfigError("cluster backend needs a share policy")
+        options = spec.options_dict()
+        placements = options.get("placements")
+        if not placements:
+            raise ConfigError("cluster backend needs placements")
+        cluster = ClusterState(
+            spec.topology,
+            gpus_per_host=int(options.get("gpus_per_host", 4)),
+            router=Router(spec.topology),
+        )
+        for job_spec, hosts in placements:
+            cluster.place(job_spec, list(hosts))
+        simulation = ClusterSimulation(
+            cluster,
+            reference_capacity=spec.capacity or gbps(42),
+            seed=spec.seed,
+            flow_model=options.get("flow_model", "aggregate"),
+        )
+        report = simulation.run(
+            spec.policy,
+            n_iterations=spec.n_iterations,
+            warmup_iterations=int(options.get("warmup_iterations", 10)),
+            until=spec.until,
+            stagger=float(options.get("stagger", 0.005)),
+            gates=spec.gates_dict() or None,
+        )
+        return RunResult(
+            spec_hash=safe_content_hash(spec),
+            backend=self.name,
+            label=spec.label,
+            data={
+                "policy_name": report.policy_name,
+                "iteration_ms": dict(report.iteration_ms),
+                "solo_ms": dict(report.solo_ms),
+                "slowdown": dict(report.slowdown),
+            },
+        )
+
+
+register(PhaseBackend.name, PhaseBackend(), replace=True)
+register(FluidBackend.name, FluidBackend(), replace=True)
+register(EngineBackend.name, EngineBackend(), replace=True)
+register(ClusterBackend.name, ClusterBackend(), replace=True)

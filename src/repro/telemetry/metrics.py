@@ -220,3 +220,39 @@ class Registry:
                 for name in sorted(self._histograms)
             },
         }
+
+    def state(self) -> Dict[str, Any]:
+        """Raw transportable state (histograms keep every observation).
+
+        Unlike :meth:`snapshot` — which summarizes histograms — this is
+        lossless, so a worker process can ship its registry to the parent
+        and :meth:`merge_state` can fold it in without bias.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: list(self._histograms[name]._values)
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold a :meth:`state` dict from another registry into this one.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms extend with the incoming observations.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).value += float(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, values in state.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            histogram._values.extend(float(v) for v in values)

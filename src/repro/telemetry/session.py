@@ -86,6 +86,37 @@ class Telemetry:
         data["event_kinds"] = self.trace.counts_by_kind()
         return data
 
+    def worker_state(self) -> dict:
+        """Everything a worker process ships back to its parent session.
+
+        Carries the lossless registry state plus the full trace payload.
+        Span timings are wall-clock and per-process, so they are *not*
+        transported; the runner records worker wall time in the parent
+        session's span log instead.
+        """
+        from .trace import TraceRecord  # noqa: F401 - documents the payload
+
+        return {
+            "registry": self.registry.state(),
+            "trace": [record.to_dict() for record in self.trace],
+        }
+
+    def merge_worker_state(self, state: dict) -> None:
+        """Fold a :meth:`worker_state` dict into this session.
+
+        Metrics merge into the registry; trace records append in the
+        order given (the runner calls this in spec order, so merged
+        traces are deterministic regardless of worker scheduling).
+        No-op on disabled sessions.
+        """
+        if not self.enabled:
+            return
+        from .trace import TraceRecord
+
+        self.registry.merge_state(state.get("registry", {}))
+        for data in state.get("trace", []):
+            self.trace.append(TraceRecord.from_dict(data))
+
 
 class NullTelemetry(Telemetry):
     """The disabled session: accepts everything, records nothing."""

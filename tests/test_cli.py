@@ -14,6 +14,21 @@ class TestParser:
         args = build_parser().parse_args(["run", "figure3"])
         assert args.command == "run"
         assert args.artifact == "figure3"
+        assert args.jobs == 1
+        assert args.no_cache is False
+
+    def test_run_jobs_and_no_cache(self):
+        args = build_parser().parse_args(
+            ["run", "figure1", "--jobs", "8", "--no-cache"]
+        )
+        assert args.jobs == 8
+        assert args.no_cache is True
+
+    def test_cache_command(self):
+        args = build_parser().parse_args(["cache", "--clear"])
+        assert args.command == "cache"
+        assert args.clear is True
+        assert args.stats is False
 
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
@@ -44,3 +59,21 @@ class TestMain:
         for name, (description, runner) in EXPERIMENTS.items():
             assert description
             assert callable(runner)
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        assert main(["cache", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert main(
+            ["cache", "--clear", "--runs-dir", str(tmp_path)]
+        ) == 0
+        assert "cleared 0" in capsys.readouterr().out
+
+    def test_second_run_served_from_cache(self, capsys, tmp_path):
+        args = ["run", "sweep", "--runs-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache hit(s)" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed" in second

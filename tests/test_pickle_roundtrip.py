@@ -1,0 +1,160 @@
+"""Pickling round-trips for everything a run spec can carry.
+
+``run_many`` fans specs out over a process pool, so job specs,
+topologies, gates, and share policies must all survive pickling with
+behaviour intact — not merely without error.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cc.adaptive import AdaptiveUnfair
+from repro.cc.fair import FairSharing
+from repro.cc.priority import PrioritySharing
+from repro.cc.weighted import StaticWeighted
+from repro.core.rotation import CommWindow
+from repro.errors import ConfigError
+from repro.mechanisms.flow_scheduling import PeriodicGate
+from repro.net.topology import Topology
+from repro.units import gbps
+from repro.workloads.job import JobSpec
+from repro.workloads.profiles import figure2_vgg19_pair
+
+
+def roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+class TestJobSpec:
+    def test_round_trips(self):
+        spec, _ = figure2_vgg19_pair()
+        clone = roundtrip(spec)
+        assert clone == spec or clone.job_id == spec.job_id
+        assert clone.compute_time == spec.compute_time
+        assert clone.comm_bytes == spec.comm_bytes
+        assert clone.n_workers == spec.n_workers
+
+
+class TestTopology:
+    def assert_same_shape(self, clone, original):
+        assert [n.name for n in clone.nodes] == [
+            n.name for n in original.nodes
+        ]
+        assert [
+            (l.src, l.dst, l.capacity, l.name) for l in clone.links
+        ] == [
+            (l.src, l.dst, l.capacity, l.name) for l in original.links
+        ]
+
+    def test_dumbbell(self):
+        original = Topology.dumbbell(
+            hosts_per_side=3,
+            host_capacity=gbps(42),
+            bottleneck_capacity=gbps(42),
+            bottleneck_name="L1",
+        )
+        self.assert_same_shape(roundtrip(original), original)
+
+    def test_leaf_spine(self):
+        original = Topology.leaf_spine(
+            n_racks=4,
+            hosts_per_rack=2,
+            n_spines=1,
+            host_capacity=gbps(42),
+            uplink_capacity=gbps(42),
+        )
+        clone = roundtrip(original)
+        self.assert_same_shape(clone, original)
+        assert clone.rack_of("h2_1") == original.rack_of("h2_1")
+
+
+def make_gate(slack=0.6, epoch=0.007):
+    windows = [CommWindow("j1", start=10, length=40, period=100)]
+    return PeriodicGate(
+        windows, ticks_per_second=1000.0, slack=slack, epoch=epoch
+    )
+
+
+class TestPeriodicGate:
+    def test_state_round_trip_via_factory(self):
+        gate = make_gate()
+        clone = PeriodicGate.from_state(gate.to_state())
+        assert clone.period == gate.period
+        assert clone.epoch == gate.epoch
+        assert clone._openings == gate._openings
+
+    def test_pickle_preserves_behaviour(self):
+        gate = make_gate()
+        clone = roundtrip(gate)
+        for now in np.linspace(0.0, 0.35, 141):
+            assert clone("j1", float(now)) == gate("j1", float(now))
+
+    def test_reduce_uses_factory(self):
+        factory, args = make_gate().__reduce__()
+        assert factory == PeriodicGate.from_state
+        assert args[0]["period"] > 0
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ConfigError):
+            PeriodicGate.from_state(
+                {"period": 0.0, "epoch": 0.0, "openings": []}
+            )
+
+
+class TestPolicies:
+    def test_fair(self):
+        assert roundtrip(FairSharing()).name == "fair"
+
+    def test_static_weighted(self):
+        policy = StaticWeighted({"a": 4.0, "b": 2.0}, default=1.0)
+        clone = roundtrip(policy)
+        assert clone.weights == policy.weights
+        assert clone.default_weight == policy.default_weight
+        assert clone.weight_for_job("a") == 4.0
+        assert clone.weight_for_job("missing") == 1.0
+
+    def test_priority(self):
+        policy = PrioritySharing({"a": 2, "b": 1}, default=0)
+        clone = roundtrip(policy)
+        assert clone.priorities == policy.priorities
+        assert clone.default_priority == policy.default_priority
+
+    def test_adaptive_unfair(self):
+        policy = AdaptiveUnfair(
+            gain=2.0,
+            exponent=1.5,
+            base_weight=0.5,
+            reallocation_interval=1e-3,
+        )
+        clone = roundtrip(policy)
+        assert clone.gain == policy.gain
+        assert clone.exponent == policy.exponent
+        assert clone.base_weight == policy.base_weight
+        assert clone.reallocation_interval == (
+            policy.reallocation_interval
+        )
+
+
+class TestRunSpec:
+    def test_full_spec_round_trips(self):
+        from repro.experiments.common import phase_spec
+
+        j1, j2 = figure2_vgg19_pair()
+        spec = phase_spec(
+            [j1, j2],
+            StaticWeighted({j1.job_id: 2.0}),
+            n_iterations=12,
+            seed=3,
+            start_offsets={j1.job_id: 0.004},
+            gates={j1.job_id: make_gate()},
+            label="pickle-test",
+        )
+        clone = roundtrip(spec)
+        assert clone.label == spec.label
+        assert clone.seed == spec.seed
+        assert clone.start_offsets == spec.start_offsets
+        assert clone.gates_dict()[j1.job_id].period == (
+            spec.gates_dict()[j1.job_id].period
+        )

@@ -1,0 +1,344 @@
+"""Runner-layer tests: specs, registry, cache, and parallel fan-out.
+
+The load-bearing contract is determinism: ``run_many(specs, jobs=4)``
+must be byte-identical — results *and* telemetry trace — to ``jobs=1``,
+and a cache hit must replay exactly what the original execution stored.
+"""
+
+import json
+import math
+import pickle
+
+import pytest
+
+from repro import io
+from repro.errors import ConfigError
+from repro.experiments import sweep
+from repro.experiments.common import phase_spec
+from repro.experiments.sweep import point_specs
+from repro.net.phasesim import PhaseLevelSimulator
+from repro.net.topology import Topology
+from repro.cc.fair import FairSharing
+from repro.cc.weighted import StaticWeighted
+from repro.runner import (
+    ResultCache,
+    RunSpec,
+    RunnerConfig,
+    backend_names,
+    current_config,
+    derive_seed,
+    execute,
+    get_backend,
+    run_many,
+    run_one,
+    safe_content_hash,
+    using,
+)
+from repro.telemetry.session import Telemetry, use
+from repro.workloads.profiles import (
+    EFFECTIVE_BOTTLENECK,
+    figure2_vgg19_pair,
+)
+
+
+def small_phase_specs(n_iterations=30, seed=0):
+    """The Figure 1d pair at test scale: one fair, one 2:1 weighted."""
+    j1, j2 = figure2_vgg19_pair(jitter=0.02)
+    job_ids = [j1.job_id, j2.job_id]
+    return [
+        phase_spec(
+            [j1, j2],
+            FairSharing(),
+            n_iterations=n_iterations,
+            seed=seed,
+            label="runner-test-fair",
+        ),
+        phase_spec(
+            [j1, j2],
+            StaticWeighted.from_aggressiveness_order(job_ids),
+            n_iterations=n_iterations,
+            seed=seed,
+            label="runner-test-unfair",
+        ),
+    ]
+
+
+def canonical(results):
+    """Canonical JSON of results — the byte-identity yardstick."""
+    return json.dumps(
+        [io.run_result_to_dict(result) for result in results],
+        sort_keys=True,
+    )
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+
+    def test_name_and_seed_sensitive(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_non_negative(self):
+        for name in ("x", "y", "sweep:eq:0.5"):
+            assert derive_seed(0, name) >= 0
+
+
+class TestContentHash:
+    def test_stable_across_instances(self):
+        a, b = small_phase_specs()[0], small_phase_specs()[0]
+        assert a.content_hash() == b.content_hash()
+
+    def test_label_excluded(self):
+        spec = small_phase_specs()[0]
+        assert (
+            spec.replace(label="renamed").content_hash()
+            == spec.content_hash()
+        )
+
+    def test_seed_changes_hash(self):
+        spec = small_phase_specs()[0]
+        assert spec.replace(seed=99).content_hash() != spec.content_hash()
+
+    def test_policy_changes_hash(self):
+        fair, unfair = small_phase_specs()
+        assert fair.content_hash() != unfair.content_hash()
+
+    def test_survives_pickle(self):
+        spec = small_phase_specs()[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_uncacheable_spec(self):
+        spec = small_phase_specs()[0].replace(
+            gates=(("vgg19-1", lambda t: True),)
+        )
+        assert not spec.cacheable()
+        assert safe_content_hash(spec) == ""
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = backend_names()
+        for name in ("phase", "fluid", "engine", "cluster"):
+            assert name in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_backend_module_resolution(self):
+        # The sweep registers its point backend at import time; a spec
+        # carrying backend_module resolves it even in a fresh process.
+        [spec] = point_specs([0.3], 10, True, 0)
+        assert spec.backend_module == "repro.experiments.sweep"
+        result = execute(spec)
+        assert result.data["compatible_rate"] == 1.0
+
+
+class TestPhaseBackend:
+    def test_matches_direct_simulator(self):
+        """The backend is a refactor, not a remodel: same numbers."""
+        spec = small_phase_specs()[0]
+        via_runner = run_one(spec, cache=False).phase
+
+        topology = Topology.dumbbell(
+            hosts_per_side=2,
+            host_capacity=EFFECTIVE_BOTTLENECK,
+            bottleneck_capacity=EFFECTIVE_BOTTLENECK,
+            bottleneck_name="L1",
+        )
+        sim = PhaseLevelSimulator(topology, FairSharing(), seed=spec.seed)
+        for index, job in enumerate(spec.jobs):
+            sim.add_job(
+                job,
+                src=f"ha{index}",
+                dst=f"hb{index}",
+                n_iterations=spec.n_iterations,
+            )
+        direct = sim.run()
+
+        for job in spec.jobs:
+            assert via_runner.iteration_times(job.job_id).tolist() == (
+                direct.iteration_times(job.job_id).tolist()
+            )
+
+
+class TestEngineBackend:
+    def test_agrees_with_phase_on_fair_dumbbell(self):
+        spec = small_phase_specs()[0]
+        phase = run_one(spec, cache=False).phase
+        engine = run_one(
+            spec.replace(backend="engine"), cache=False
+        ).phase
+        for job in spec.jobs:
+            assert engine.mean_iteration_time(job.job_id) == (
+                pytest.approx(
+                    phase.mean_iteration_time(job.job_id), rel=1e-12
+                )
+            )
+
+
+class TestRunMany:
+    def test_results_in_spec_order(self):
+        results = run_many(small_phase_specs(), cache=False)
+        assert [r.label for r in results] == [
+            "runner-test-fair", "runner-test-unfair"
+        ]
+
+    def test_parallel_matches_serial_phase(self):
+        serial = run_many(small_phase_specs(), jobs=1, cache=False)
+        parallel = run_many(small_phase_specs(), jobs=4, cache=False)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_parallel_matches_serial_sweep(self):
+        specs = point_specs((0.2, 0.45, 0.7), 30, True, 0)
+        serial = run_many(specs, jobs=1, cache=False)
+        parallel = run_many(specs, jobs=4, cache=False)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_parallel_matches_serial_telemetry(self):
+        def traced(jobs):
+            session = Telemetry(name="runner-test")
+            with use(session):
+                run_many(small_phase_specs(), jobs=jobs, cache=False)
+            return [
+                (r.kind, r.t, r.fields) for r in session.trace.records
+            ]
+
+        assert traced(4) == traced(1)
+
+    def test_unpicklable_specs_fall_back_in_process(self):
+        gated = [
+            spec.replace(gates=(("vgg19-1", lambda t: True),))
+            for spec in small_phase_specs(n_iterations=5)
+        ]
+        results = run_many(gated, jobs=4, cache=False)
+        assert all(r.phase is not None for r in results)
+
+
+class TestCache:
+    def test_hit_replays_identical_result(self, tmp_path):
+        specs = small_phase_specs(n_iterations=10)
+        first = run_many(specs, cache=True, cache_dir=tmp_path)
+        second = run_many(specs, cache=True, cache_dir=tmp_path)
+        assert canonical(second) == canonical(first)
+
+    def test_counters_track_hits_and_misses(self, tmp_path):
+        def counted():
+            session = Telemetry(name="runner-test")
+            run_many(
+                small_phase_specs(n_iterations=10),
+                cache=True,
+                cache_dir=tmp_path,
+                telemetry=session,
+            )
+            return {
+                name: session.counter(f"runner.{name}").value
+                for name in ("specs", "executed", "cache.hits",
+                             "cache.misses")
+            }
+
+        assert counted() == {
+            "specs": 2.0, "executed": 2.0,
+            "cache.hits": 0.0, "cache.misses": 2.0,
+        }
+        assert counted() == {
+            "specs": 2.0, "executed": 0.0,
+            "cache.hits": 2.0, "cache.misses": 0.0,
+        }
+
+    def test_hit_replays_stored_telemetry(self, tmp_path):
+        def traced():
+            session = Telemetry(name="runner-test")
+            run_many(
+                small_phase_specs(n_iterations=10),
+                cache=True,
+                cache_dir=tmp_path,
+                telemetry=session,
+            )
+            return [
+                (r.kind, r.t, r.fields) for r in session.trace.records
+            ]
+
+        assert traced() == traced()
+
+    def test_entry_round_trips_through_io(self, tmp_path):
+        spec = small_phase_specs(n_iterations=10)[0]
+        [executed] = run_many([spec], cache=True, cache_dir=tmp_path)
+        store = ResultCache(tmp_path)
+        entry = store.get(spec.content_hash())
+        assert entry is not None
+        assert io.run_result_to_dict(entry.result) == (
+            io.run_result_to_dict(executed)
+        )
+
+    def test_corrupt_entry_heals_as_miss(self, tmp_path):
+        spec = small_phase_specs(n_iterations=5)[0]
+        run_many([spec], cache=True, cache_dir=tmp_path)
+        store = ResultCache(tmp_path)
+        path = store.path_for(spec.content_hash())
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get(spec.content_hash()) is None
+        assert not path.exists()
+
+    def test_uncacheable_spec_never_cached(self, tmp_path):
+        spec = small_phase_specs(n_iterations=5)[0].replace(
+            gates=(("vgg19-1", lambda t: True),)
+        )
+        run_many([spec], cache=True, cache_dir=tmp_path)
+        assert ResultCache(tmp_path).stats()["entries"] == 0
+
+    def test_stats_and_clear(self, tmp_path):
+        run_many(
+            small_phase_specs(n_iterations=5),
+            cache=True,
+            cache_dir=tmp_path,
+        )
+        store = ResultCache(tmp_path)
+        assert store.stats()["entries"] == 2
+        assert store.stats()["bytes"] > 0
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+
+
+class TestRunnerConfig:
+    def test_default_is_serial_uncached(self):
+        config = current_config()
+        assert config.jobs == 1
+        assert config.cache is False
+
+    def test_using_installs_and_restores(self, tmp_path):
+        config = RunnerConfig(jobs=3, cache=True, cache_dir=tmp_path)
+        with using(config):
+            assert current_config() is config
+        assert current_config().jobs == 1
+
+    def test_ambient_cache_dir_honoured(self, tmp_path):
+        config = RunnerConfig(jobs=1, cache=True, cache_dir=tmp_path)
+        with using(config):
+            run_many(small_phase_specs(n_iterations=5))
+        assert ResultCache(tmp_path).stats()["entries"] == 2
+
+
+class TestSweepNaN:
+    def test_no_compatible_pairs_is_nan(self):
+        # At 70% comm fraction equal-period pairs are never compatible.
+        points = sweep.run(fractions=(0.7,), pairs_per_point=20)
+        assert points[0].compatible_rate == 0.0
+        assert math.isnan(points[0].mean_speedup)
+
+    def test_nan_renders_as_dash(self):
+        points = sweep.run(fractions=(0.3, 0.7), pairs_per_point=20)
+        report = sweep.report(points)
+        assert "—" in report
+        for line in report.splitlines():
+            if "70%" in line:
+                assert "—" in line
+
+    def test_nan_round_trips_through_cache(self, tmp_path):
+        [spec] = point_specs([0.7], 20, True, 0)
+        first = run_one(spec, cache=True, cache_dir=tmp_path)
+        second = run_one(spec, cache=True, cache_dir=tmp_path)
+        assert math.isnan(first.data["mean_speedup"])
+        assert math.isnan(second.data["mean_speedup"])
