@@ -101,6 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list available artifacts")
 
+    # Stub for --help only: ``main`` forwards ``lint ...`` to
+    # :func:`repro.lint.cli.main` before argparse ever runs, so the
+    # linter keeps its own flags (--format, --select, --baseline, ...).
+    subparsers.add_parser(
+        "lint",
+        help="run the simulation-invariant linter (repro-lint --help)",
+        add_help=False,
+    )
+
     run = subparsers.add_parser("run", help="run one artifact (or 'all')")
     run.add_argument(
         "artifact",
@@ -218,6 +227,11 @@ def _run_artifact(
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)

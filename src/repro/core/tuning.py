@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CompatibilityError
+from ..floats import isclose
 from .circle import JobCircle
 from .optimize import solve
 
@@ -44,7 +45,11 @@ class TuningSuggestion:
     @property
     def jobs_touched(self) -> int:
         """Jobs whose compute phase was actually changed."""
-        return sum(1 for scale in self.scales.values() if scale != 1.0)
+        return sum(
+            1
+            for scale in self.scales.values()
+            if not isclose(scale, 1.0)
+        )
 
 
 def scale_compute(circle: JobCircle, scale: float) -> JobCircle:
@@ -129,7 +134,7 @@ def suggest_compute_scaling(
                 scales.update(dict(zip(subset, combo)))
                 adjusted = [
                     scale_compute(by_id[job_id], scales[job_id])
-                    if scales[job_id] != 1.0
+                    if not isclose(scales[job_id], 1.0)
                     else by_id[job_id]
                     for job_id in job_ids
                 ]

@@ -1,0 +1,33 @@
+"""Shared float-comparison tolerances (the FP001 contract).
+
+Exact ``==`` / ``!=`` on floats flips under accumulated rounding, so the
+geometry, network and congestion-control layers compare through one
+shared helper instead of scattering ad-hoc epsilons. The linter
+(:mod:`repro.lint`, rule FP001) enforces this in ``core/``, ``net/``
+and ``cc/``.
+
+The defaults suit the library's scales: simulation times are seconds
+with microsecond-ish structure and rates are bytes/second up to ~1e10,
+so a relative tolerance dominates for large magnitudes while ``ABS_TOL``
+absorbs exact-zero comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Shared relative tolerance for float comparisons.
+REL_TOL = 1e-9
+
+#: Shared absolute tolerance (floors comparisons involving 0.0).
+ABS_TOL = 1e-12
+
+
+def isclose(
+    a: float,
+    b: float,
+    rel_tol: float = REL_TOL,
+    abs_tol: float = ABS_TOL,
+) -> bool:
+    """:func:`math.isclose` with the library-wide default tolerances."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

@@ -1,0 +1,55 @@
+"""Static analysis for the repo's simulation invariants.
+
+The paper's artifacts rest on byte-identical seeded simulation; this
+package machine-checks the conventions that keep it that way. It is a
+small AST linter with a pluggable rule registry:
+
+========== ==================== =======================================
+code       name                 invariant
+========== ==================== =======================================
+DET001     unseeded-random      randomness flows from ``repro.sim.rng``
+DET002     wall-clock           only telemetry reads the real clock
+DET003     set-iteration        no set iteration in net/sim/core
+UNIT001    magic-unit-factor    conversions go through ``repro.units``
+FP001      float-equality       tolerance helpers, not float ``==``
+PICKLE001  unpicklable-backend  registered backends must pickle
+RUN001     direct-simulator     experiments go through ``RunSpec``
+========== ==================== =======================================
+
+Run it with ``repro-lint`` / ``python -m repro.lint`` / the
+``repro-experiments lint`` subcommand; suppress one line with
+``# simlint: disable=CODE`` (plus a justification); grandfathered
+findings live in the committed ``lint-baseline.json``. Full catalog
+with examples: ``docs/LINT.md``.
+"""
+
+from .baseline import DEFAULT_BASELINE, Baseline
+from .context import ModuleContext
+from .engine import Report, lint_module, lint_paths, lint_source
+from .findings import Finding, Severity
+from .rules import (
+    BaseRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+    select_rules,
+)
+
+__all__ = [
+    "Baseline",
+    "BaseRule",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "ModuleContext",
+    "Report",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_module",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "select_rules",
+]

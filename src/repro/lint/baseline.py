@@ -1,0 +1,102 @@
+"""The committed lint baseline.
+
+A baseline grandfathers known findings so the linter can land strict
+while violations are burned down over time. It is a small JSON document
+(committed at the repo root as ``lint-baseline.json``)::
+
+    {"version": 1, "findings": [
+        {"code": "UNIT001", "path": "src/repro/x.py", "line": 12}
+    ]}
+
+Matching is by :meth:`~repro.lint.findings.Finding.fingerprint`
+(``code:path:line``), consumed one-for-one, so a *new* violation of an
+already-baselined kind still fails. ``--write-baseline`` regenerates
+the file from the current findings; the goal state — enforced by
+``tests/test_lint_selfcheck.py`` — is an **empty** baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigError
+from .findings import Finding
+
+#: Default baseline location (relative to the invocation directory).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: Sequence[str] = ()) -> None:
+        self._counts = Counter(fingerprints)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (fresh, baselined).
+
+        Each baseline entry absorbs at most one finding, so duplicates
+        beyond the recorded count surface as fresh.
+        """
+        remaining = Counter(self._counts)
+        fresh: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, matched
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (empty baseline if it does not exist)."""
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unreadable baseline {path}: {exc}")
+        entries = data.get("findings", [])
+        fingerprints = []
+        for entry in entries:
+            try:
+                fingerprints.append(
+                    f"{entry['code']}:{entry['path']}:{int(entry['line'])}"
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"malformed baseline entry in {path}: {entry!r}"
+                ) from exc
+        return cls(fingerprints)
+
+    @staticmethod
+    def write(path: Path, findings: Sequence[Finding]) -> None:
+        """Snapshot ``findings`` as the new baseline."""
+        document = {
+            "version": _VERSION,
+            "findings": [
+                {
+                    "code": finding.code,
+                    "path": finding.path,
+                    "line": finding.line,
+                }
+                for finding in sorted(findings)
+            ],
+        }
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

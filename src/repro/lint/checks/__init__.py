@@ -1,0 +1,3 @@
+"""The bundled rule set — importing this package registers every rule."""
+
+from . import determinism, runner, units  # noqa: F401

@@ -1,0 +1,238 @@
+"""Determinism rules: seeded randomness, no wall clock, ordered iteration.
+
+The headline artifacts depend on byte-identical seeded replays (see
+``tests/test_trace_determinism.py``), so the three classic ways
+nondeterminism sneaks into a simulator each get a rule:
+
+* **DET001** — randomness must flow from :class:`repro.sim.rng.
+  RandomStreams` (or an explicitly seeded ``default_rng``); the stdlib
+  ``random`` module and numpy's legacy global generator are banned.
+* **DET002** — wall-clock reads are allowed only inside
+  ``repro.telemetry`` (the span log is the one sanctioned wall-clock
+  surface; see ``runner/parallel.py`` for the pattern).
+* **DET003** — simulation/trace code must not iterate ``set``s: with
+  randomized string hashing the visit order differs between processes,
+  which silently reorders events and allocations. Wrap in ``sorted``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..rules import BaseRule, register_rule
+
+#: numpy.random attributes that are deterministic-by-construction.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "SeedSequence",
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Canonical names that read the wall clock.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.thread_time",
+    "time.thread_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class UnseededRandomRule(BaseRule):
+    """DET001: module-level RNG calls bypass the seeded stream factory."""
+
+    code = "DET001"
+    name = "unseeded-random"
+    severity = Severity.ERROR
+    description = (
+        "stdlib `random` and numpy's legacy global generator draw from "
+        "hidden process-global state; simulation randomness must come "
+        "from repro.sim.rng.RandomStreams or a seeded default_rng."
+    )
+    hint = (
+        "use repro.sim.rng.RandomStreams(seed).get(name) or "
+        "np.random.default_rng(seed)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved == "random" or resolved.startswith("random."):
+                yield self.finding(
+                    ctx, node,
+                    f"call to stdlib `{resolved}` uses the hidden "
+                    "process-global generator",
+                )
+                continue
+            if resolved.startswith("numpy.random."):
+                attr = resolved[len("numpy.random."):]
+                if attr not in _NP_RANDOM_ALLOWED:
+                    yield self.finding(
+                        ctx, node,
+                        f"`{resolved}` draws from numpy's legacy "
+                        "global generator",
+                    )
+                elif attr == "default_rng" and not (
+                    node.args or node.keywords
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        "`default_rng()` without a seed is entropy-"
+                        "seeded and irreproducible",
+                    )
+
+
+@register_rule
+class WallClockRule(BaseRule):
+    """DET002: wall-clock reads outside the telemetry span surface."""
+
+    code = "DET002"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    exempt = ("telemetry",)
+    description = (
+        "wall-clock reads make results depend on host speed and load; "
+        "only repro.telemetry (the span log) may touch the real clock."
+    )
+    hint = (
+        "time simulation with the simulator clock (`sim.now`); time "
+        "real work with `telemetry.span(...)`"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _WALL_CLOCK:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock call `{resolved}` outside "
+                    "repro.telemetry",
+                )
+
+
+#: Nodes that open a new variable scope.
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+def _scope_nodes(scope):
+    """Split a scope into (own nodes, directly nested scopes).
+
+    ``own`` is every node reachable without crossing a function/class
+    boundary; ``nested`` are the boundary nodes themselves.
+    """
+    own, nested, queue = [], [], [scope]
+    while queue:
+        node = queue.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                nested.append(child)
+            else:
+                own.append(child)
+                queue.append(child)
+    return own, nested
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether ``node`` evaluates to a ``set`` (direct forms only)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register_rule
+class SetIterationRule(BaseRule):
+    """DET003: iterating a set in event/trace-emitting code."""
+
+    code = "DET003"
+    name = "set-iteration"
+    severity = Severity.ERROR
+    scope = ("net", "sim", "core")
+    description = (
+        "set iteration order depends on randomized string hashing; in "
+        "net/, sim/ and core/ it silently reorders events, allocations "
+        "and trace records between runs."
+    )
+    hint = "iterate `sorted(the_set)` (or keep an ordered list/dict)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._scan_scope(ctx, ctx.tree)
+
+    def _scan_scope(self, ctx: ModuleContext, scope) -> Iterator[Finding]:
+        """Scan one scope; recurse into nested functions/classes.
+
+        `name = <set expr>` bindings are tracked per scope (parameters
+        and outer-scope names are never inherited), so a set-valued
+        name in one function cannot flag a same-named sequence in
+        another.
+        """
+        own, nested = _scope_nodes(scope)
+        set_names: Dict[str, bool] = {}
+        for node in own:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    set_names[target.id] = _is_set_expr(node.value)
+
+        def flags(iterable: ast.expr) -> bool:
+            if _is_set_expr(iterable):
+                return True
+            if isinstance(iterable, ast.Name):
+                return set_names.get(iterable.id, False)
+            return False
+
+        for node in own:
+            if isinstance(node, ast.For) and flags(node.iter):
+                yield self.finding(
+                    ctx, node.iter,
+                    "iteration over a set has nondeterministic order",
+                )
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                for comp in node.generators:
+                    if flags(comp.iter):
+                        yield self.finding(
+                            ctx, comp.iter,
+                            "comprehension over a set has "
+                            "nondeterministic order",
+                        )
+        for child_scope in nested:
+            yield from self._scan_scope(ctx, child_scope)

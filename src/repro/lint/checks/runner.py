@@ -1,0 +1,172 @@
+"""Runner-discipline rules: the PR-2 process-pool and run-spec contracts.
+
+* **PICKLE001** — backends handed to :func:`repro.runner.backends.
+  register` must pickle into spawn-style worker processes. A class or
+  function defined inside another function never pickles; neither does
+  a lambda. Registration must pass module-level definitions (or a class
+  providing ``__reduce__`` / a state factory).
+* **RUN001** — experiment drivers describe runs as
+  :class:`~repro.runner.spec.RunSpec` and execute through
+  :func:`~repro.runner.run_many`; instantiating a simulator directly in
+  ``repro/experiments`` bypasses the cache, the ``--jobs`` fan-out and
+  the per-spec telemetry merge. Backend adapters (classes with an
+  ``execute`` method, registered into the backend registry) are the one
+  sanctioned place to construct simulators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..rules import BaseRule, register_rule
+
+#: Simulator entry points a driver must not construct directly.
+_SIMULATOR_NAMES = {
+    "PhaseLevelSimulator",
+    "DcqcnFluidSimulator",
+    "AimdFluidSimulator",
+    "ClusterSimulation",
+    "Simulator",
+}
+
+
+def _nested_definitions(tree: ast.Module) -> Set[str]:
+    """Names of classes/functions defined inside a function body."""
+    nested: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            is_def = isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            )
+            if is_def and inside_function:
+                nested.add(child.name)
+            visit(
+                child,
+                inside_function
+                or isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ),
+            )
+
+    visit(tree, False)
+    return nested
+
+
+def _is_register_call(ctx: ModuleContext, node: ast.Call) -> bool:
+    resolved = ctx.resolve(node.func)
+    if resolved is None:
+        return False
+    parts = resolved.split(".")
+    return parts[-1] == "register" and (
+        "runner" in parts or "backends" in parts
+    )
+
+
+@register_rule
+class UnpicklableBackendRule(BaseRule):
+    """PICKLE001: registering a backend that cannot reach pool workers."""
+
+    code = "PICKLE001"
+    name = "unpicklable-backend"
+    severity = Severity.ERROR
+    description = (
+        "run specs fan out to spawn-style worker processes; a backend "
+        "built from a nested class, nested function or lambda fails to "
+        "pickle and silently forces serial execution."
+    )
+    hint = (
+        "define the backend class at module level (or give it "
+        "__reduce__ / a to_state/from_state factory)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        nested = _nested_definitions(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_register_call(ctx, node):
+                continue
+            backend = None
+            if len(node.args) >= 2:
+                backend = node.args[1]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "backend":
+                        backend = keyword.value
+            if backend is None:
+                continue
+            if isinstance(backend, ast.Lambda):
+                yield self.finding(
+                    ctx, backend,
+                    "lambda registered as a backend cannot pickle",
+                )
+                continue
+            target = backend
+            if isinstance(backend, ast.Call):
+                target = backend.func
+            if isinstance(target, ast.Name) and target.id in nested:
+                yield self.finding(
+                    ctx, backend,
+                    f"backend `{target.id}` is defined inside a "
+                    "function and cannot pickle into pool workers",
+                )
+
+
+@register_rule
+class DirectSimulatorRule(BaseRule):
+    """RUN001: experiment drivers constructing simulators directly."""
+
+    code = "RUN001"
+    name = "direct-simulator"
+    severity = Severity.ERROR
+    scope = ("experiments",)
+    description = (
+        "drivers that bypass RunSpec/run_many lose the result cache, "
+        "--jobs parallelism and deterministic telemetry merge the "
+        "runner guarantees."
+    )
+    hint = (
+        "describe the run as a RunSpec and execute via "
+        "repro.runner.run_many (simulators belong in backend adapters)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # Classes with an `execute` method are backend adapters — the
+        # sanctioned home for simulator construction.
+        adapter_spans = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and any(
+                isinstance(item, ast.FunctionDef)
+                and item.name == "execute"
+                for item in node.body
+            ):
+                adapter_spans.append(
+                    (node.lineno, node.end_lineno or node.lineno)
+                )
+
+        def inside_adapter(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", 0)
+            return any(
+                start <= line <= end for start, end in adapter_spans
+            )
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _SIMULATOR_NAMES and not inside_adapter(node):
+                yield self.finding(
+                    ctx, node,
+                    f"`{name}` instantiated directly in an experiment "
+                    "driver",
+                )

@@ -1,0 +1,134 @@
+"""Unit-discipline rules: no inline conversion factors, no float ``==``.
+
+* **UNIT001** — multiplying or dividing by a bare power-of-ten float
+  (``1e-3``, ``1e6``, ...) in simulation code is almost always a unit
+  conversion that belongs in :mod:`repro.units` (or behind a named
+  module constant). Inline factors are where the classic factor-of-8
+  and factor-of-1000 networking bugs live.
+* **FP001** — comparing floats with ``==`` / ``!=`` against a float
+  literal in the geometry/network/CC layers; accumulated rounding makes
+  such checks flip between platforms. Use :func:`repro.floats.isclose`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..rules import BaseRule, register_rule
+
+#: Powers of ten that read as unit conversions when multiplied inline.
+_MAGIC_FACTORS = {
+    1e3, 1e6, 1e9, 1e12,
+    1e-3, 1e-6, 1e-9, 1e-12,
+}
+
+
+def _module_constant_values(tree: ast.Module) -> Set[int]:
+    """ids of value expressions bound to module-level UPPER_CASE names.
+
+    ``TICKS_PER_SECOND = 1_000_000``-style definitions are the sanctioned
+    home for magic factors, so their right-hand sides are exempt.
+    """
+    exempt: Set[int] = set()
+    for stmt in tree.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if all(
+            isinstance(t, ast.Name) and t.id.isupper() for t in targets
+        ):
+            for node in ast.walk(value):
+                exempt.add(id(node))
+    return exempt
+
+
+@register_rule
+class MagicUnitFactorRule(BaseRule):
+    """UNIT001: inline power-of-ten factor in simulation code."""
+
+    code = "UNIT001"
+    name = "magic-unit-factor"
+    severity = Severity.WARNING
+    scope = (
+        "net", "sim", "cc", "switches",
+        "workloads", "scheduler", "core", "mechanisms",
+    )
+    description = (
+        "a bare `* 1e-3` / `/ 1e9` in sim code is an unlabeled unit "
+        "conversion; repro.units names the factor and keeps the "
+        "factor-of-8/1000 bugs out."
+    )
+    hint = (
+        "use a repro.units helper (ms/us/gbps/to_milliseconds/...) or "
+        "bind the factor to a named UPPER_CASE module constant"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        exempt = _module_constant_values(ctx.tree)
+
+        def magic(node: ast.expr) -> bool:
+            return (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, float)
+                and node.value in _MAGIC_FACTORS
+                and id(node) not in exempt
+            )
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Mult, ast.Div)):
+                continue
+            for operand in (node.left, node.right):
+                if magic(operand):
+                    yield self.finding(
+                        ctx, operand,
+                        f"inline unit-conversion factor "
+                        f"`{operand.value!r}`",
+                    )
+
+
+@register_rule
+class FloatEqualityRule(BaseRule):
+    """FP001: ``==`` / ``!=`` against a float literal."""
+
+    code = "FP001"
+    name = "float-equality"
+    severity = Severity.ERROR
+    scope = ("core", "net", "cc")
+    description = (
+        "exact float comparison flips under accumulated rounding; the "
+        "geometry, network and CC layers must compare through the "
+        "shared tolerance helpers."
+    )
+    hint = "use repro.floats.isclose(a, b) (shared REL_TOL/ABS_TOL)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    for side in (left, right):
+                        if isinstance(side, ast.Constant) and isinstance(
+                            side.value, float
+                        ):
+                            symbol = (
+                                "==" if isinstance(op, ast.Eq) else "!="
+                            )
+                            yield self.finding(
+                                ctx, node,
+                                f"float literal compared with `{symbol}`",
+                            )
+                            break
+                left = right

@@ -1,0 +1,169 @@
+"""``repro-lint`` — the simulation-invariant linter's command line.
+
+Usage::
+
+    repro-lint src/repro                  # text report, exit 1 on findings
+    repro-lint src/repro --format json    # machine-readable (CI)
+    repro-lint src/repro --select DET002  # one rule only
+    repro-lint src/repro --write-baseline # grandfather current findings
+    repro-lint --list-rules               # the rule catalog
+
+Equivalent module form: ``python -m repro.lint ...``; also mounted as
+``repro-experiments lint ...``. Exit codes: 0 clean, 1 fresh findings,
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import ReproError
+from .baseline import DEFAULT_BASELINE, Baseline
+from .engine import Report, lint_paths
+from .rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based checks for the repo's simulation invariants: "
+            "determinism, unit discipline and runner discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code for code in raw.split(",") if code.strip()]
+
+
+def _render_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = (
+            "/".join(rule.scope) if rule.scope is not None else "repro"
+        )
+        lines.append(
+            f"{rule.code}  {rule.name}  [{rule.severity.value}, "
+            f"scope: {scope}]"
+        )
+        lines.append(f"    {rule.description}")
+        lines.append(f"    fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def _render_text(report: Report) -> str:
+    lines = [finding.render() for finding in report.findings]
+    seen = set()
+    hints = []
+    for finding in report.findings:
+        if finding.code not in seen and finding.hint:
+            seen.add(finding.code)
+            hints.append(f"  {finding.code}: {finding.hint}")
+    if hints:
+        lines.append("fix hints:")
+        lines.extend(hints)
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files} file(s)"
+    )
+    if report.baselined:
+        summary += f" ({len(report.baselined)} baselined)"
+    lines.append(summary if report.findings else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+
+    baseline_path = Path(
+        args.baseline if args.baseline is not None else DEFAULT_BASELINE
+    )
+    try:
+        if args.write_baseline:
+            report = lint_paths(
+                args.paths,
+                select=_codes(args.select),
+                ignore=_codes(args.ignore),
+            )
+            Baseline.write(baseline_path, report.findings)
+            print(
+                f"wrote {len(report.findings)} finding(s) to "
+                f"{baseline_path}"
+            )
+            return 0
+        baseline = (
+            Baseline.load(baseline_path)
+            if args.baseline is not None or baseline_path.exists()
+            else Baseline()
+        )
+        report = lint_paths(
+            args.paths,
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+            baseline=baseline,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(_render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""The walker: files -> contexts -> rules -> filtered findings.
+
+:func:`lint_paths` is the programmatic entry point (the CLI is a thin
+shell over it); :func:`lint_source` lints an in-memory snippet against
+a virtual path, which is how the rule tests build their fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import ConfigError
+from .baseline import Baseline
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .rules import Rule, select_rules
+from .suppress import is_suppressed, suppressions
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "runs"}
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: Fresh (non-baselined, non-suppressed) findings,
+            sorted by path/line/col/code.
+        baselined: Findings matched by the baseline (reported but not
+            counted against the exit code).
+        files: Number of files scanned.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (exit code 0)."""
+        return not self.findings
+
+    def counts_by_code(self) -> Dict[str, int]:
+        """Fresh findings per rule code, sorted by code."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return {code: counts[code] for code in sorted(counts)}
+
+    def to_dict(self) -> dict:
+        """The ``--format json`` document."""
+        return {
+            "version": 1,
+            "files": self.files,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": len(self.baselined),
+            "summary": {
+                "total": len(self.findings),
+                "by_code": self.counts_by_code(),
+            },
+        }
+
+
+def _iter_python_files(paths: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(
+                    part in _SKIP_DIRS for part in candidate.parts
+                ):
+                    files.append(candidate)
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ConfigError(f"no such file or directory: {raw}")
+    return files
+
+
+def lint_module(
+    ctx: ModuleContext, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run ``rules`` over one parsed module, honoring suppressions."""
+    table = suppressions(ctx.source)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not is_suppressed(table, finding.line, finding.code):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_source(
+    source: str,
+    path: str = "repro/module.py",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint an in-memory snippet as if it lived at ``path``.
+
+    The virtual path drives rule scoping exactly like a real file
+    (``"repro/net/x.py"`` is net-scope), which is how the rule tests
+    exercise positive and negative fixtures.
+    """
+    rules = select_rules(select, ignore)
+    ctx = ModuleContext.parse(path, source)
+    return lint_module(ctx, rules)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> Report:
+    """Lint files/directories and return the filtered :class:`Report`.
+
+    Unparseable files surface as ``PARSE000`` findings rather than
+    aborting the run — a linter that dies on the file it should flag is
+    not much of a linter.
+    """
+    rules = select_rules(select, ignore)
+    report = Report()
+    collected: List[Finding] = []
+    for file in _iter_python_files(paths):
+        display = file.as_posix()
+        report.files += 1
+        try:
+            source = file.read_text(encoding="utf-8")
+            ctx = ModuleContext.parse(display, source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            collected.append(
+                Finding(
+                    path=display,
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=getattr(exc, "offset", None) or 0,
+                    code="PARSE000",
+                    message=f"could not parse file: {exc}",
+                    severity=Severity.ERROR,
+                    hint="fix the syntax error",
+                )
+            )
+            continue
+        collected.extend(lint_module(ctx, rules))
+    collected.sort()
+    if baseline is None:
+        baseline = Baseline()
+    report.findings, report.baselined = baseline.split(collected)
+    return report

@@ -1,0 +1,72 @@
+"""Lint findings: what a rule reports and how it is identified.
+
+A :class:`Finding` pins one violation to a file position and carries the
+rule's code, severity and fix hint. Findings are plain data — they sort,
+serialize to JSON, and reduce to a :meth:`Finding.fingerprint` used by
+the baseline file to grandfather pre-existing violations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Both levels fail the lint run (the linter is strict by design — the
+    simulation invariants it guards are correctness properties, not
+    style); the distinction is informational.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source position.
+
+    Attributes:
+        path: File path as scanned (posix separators, stable across
+            runs from the same working directory).
+        line: 1-based source line.
+        col: 0-based column offset.
+        code: The rule code (e.g. ``DET002``).
+        message: Human-readable description of this occurrence.
+        severity: :class:`Severity` of the owning rule.
+        hint: The rule's generic fix hint.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+
+    def fingerprint(self) -> str:
+        """Identity used for baseline matching (position + code)."""
+        return f"{self.code}:{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (the ``--format json`` record)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """The one-line text form ``path:line:col: CODE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.message}"
+        )

@@ -1,0 +1,141 @@
+"""The rule protocol and registry.
+
+A rule is a named, coded checker over one :class:`ModuleContext`. Rules
+self-register at import time (:func:`register_rule`), the same pattern
+the runner uses for simulation backends, so adding an invariant is one
+module edit — the walker, CLI, suppression and baseline machinery pick
+it up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Tuple
+
+from ..errors import ConfigError
+from .context import ModuleContext
+from .findings import Finding, Severity
+
+
+class Rule(Protocol):
+    """What the registry stores: one coded invariant checker."""
+
+    code: str
+    name: str
+    severity: Severity
+    hint: str
+    description: str
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Whether this rule scans the given module at all."""
+        ...
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation in the module."""
+        ...
+
+
+class BaseRule:
+    """Shared plumbing: scope filtering and finding construction.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scope`` limits the rule to subpackages of ``repro`` (``None`` =
+    the whole package); ``exempt`` carves out subpackages within that
+    scope (e.g. DET002 exempts ``telemetry``).
+    """
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+    description: str = ""
+    #: Subpackages of ``repro`` the rule scans; ``None`` scans all.
+    scope: Optional[Tuple[str, ...]] = None
+    #: Subpackages exempt from the rule.
+    exempt: Tuple[str, ...] = ()
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        parts = ctx.package_parts
+        if parts and parts[0] in self.exempt:
+            return False
+        if self.scope is None:
+            return True
+        return bool(parts) and parts[0] in self.scope
+
+    def finding(
+        self, ctx: ModuleContext, node, message: str
+    ) -> Finding:
+        """A :class:`Finding` at ``node``'s position."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            severity=self.severity,
+            hint=self.hint,
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule, replace: bool = False):
+    """Add a rule to the registry (idempotent with ``replace=True``).
+
+    Usable as a class decorator — a rule *class* is instantiated and
+    registered, and the class itself is returned unchanged.
+    """
+    instance: Rule = rule() if isinstance(rule, type) else rule
+    if not instance.code:
+        raise ConfigError("a lint rule needs a non-empty code")
+    if instance.code in _REGISTRY and not replace:
+        raise ConfigError(
+            f"lint rule {instance.code!r} already registered"
+        )
+    _REGISTRY[instance.code] = instance
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    _ensure_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by code."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(
+            f"unknown lint rule {code!r} (registered: {known})"
+        ) from None
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """The rule set after ``--select`` / ``--ignore`` filtering."""
+    rules = all_rules()
+    if select:
+        wanted = {code.strip().upper() for code in select}
+        for code in wanted:
+            get_rule(code)  # raise on typos instead of silently passing
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore:
+        dropped = {code.strip().upper() for code in ignore}
+        for code in dropped:
+            get_rule(code)
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules
+
+
+def _ensure_loaded() -> None:
+    """Import the bundled checkers (registration is import-driven)."""
+    from . import checks  # noqa: F401

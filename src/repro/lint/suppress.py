@@ -1,0 +1,73 @@
+"""Per-line lint suppressions.
+
+A violation is silenced by a trailing comment on its line::
+
+    return millions * 1e6  # simlint: disable=UNIT001 - count, not a unit
+
+``disable=`` takes a comma-separated code list; a bare
+``# simlint: disable`` (no codes) silences every rule on the line.
+Anything after the code list is free-form justification — suppressions
+in this repo are expected to say *why* (reviewed in PRs like code).
+
+Comments are found with :mod:`tokenize`, so a ``# simlint:`` inside a
+string literal never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: Marks "every code" in a suppression set.
+ALL_CODES = "*"
+
+_PATTERN = re.compile(
+    r"#\s*simlint:\s*disable"
+    r"(?:=(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+)
+
+
+def suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> codes suppressed on that line.
+
+    Returns ``{line: frozenset({"DET002"})}`` style entries; the value
+    ``frozenset({ALL_CODES})`` suppresses every rule. Unreadable source
+    (tokenize errors) yields no suppressions — the parse error surfaces
+    through the walker instead.
+    """
+    result: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(token.string)
+            if not match:
+                continue
+            codes = match.group("codes")
+            if codes is None or not codes.strip():
+                parsed = frozenset({ALL_CODES})
+            else:
+                parsed = frozenset(
+                    code.strip().upper()
+                    for code in codes.split(",")
+                    if code.strip()
+                )
+            result[token.start[0]] = result.get(
+                token.start[0], frozenset()
+            ) | parsed
+    except tokenize.TokenizeError:
+        return {}
+    return result
+
+
+def is_suppressed(
+    table: Dict[int, FrozenSet[str]], line: int, code: str
+) -> bool:
+    """Whether ``code`` is silenced on ``line``."""
+    codes = table.get(line)
+    if not codes:
+        return False
+    return ALL_CODES in codes or code.upper() in codes

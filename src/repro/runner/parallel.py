@@ -26,7 +26,6 @@ from __future__ import annotations
 import contextlib
 import os
 import pickle
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -84,11 +83,14 @@ def _execute_spec(spec: RunSpec) -> Tuple[RunResult, Dict[str, Any], float]:
     worker's wall-clock seconds. Top-level so it pickles.
     """
     session = Telemetry(name=spec.label or spec.backend)
-    started = time.perf_counter()
+    # The span log is the one sanctioned wall-clock surface (DET002):
+    # worker wall time is measured as a span on the worker's own
+    # session and shipped back as a plain float (worker_state() never
+    # transports spans, so nothing is double-counted on merge).
     with use(session):
-        result = _backends.execute(spec)
-    elapsed = time.perf_counter() - started
-    return result, session.worker_state(), elapsed
+        with session.spans.span("execute") as span:
+            result = _backends.execute(spec)
+    return result, session.worker_state(), span.duration
 
 
 def _specs_pickle(specs: Sequence[RunSpec]) -> bool:

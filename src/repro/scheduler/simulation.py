@@ -17,7 +17,7 @@ import numpy as np
 from ..cc.base import SharePolicy
 from ..errors import SimulationError
 from ..net.phasesim import PhaseLevelSimulator
-from ..units import gbps
+from ..units import gbps, to_milliseconds
 from .cluster import ClusterState
 
 
@@ -144,7 +144,7 @@ class ClusterSimulation:
         result = sim.run(until=until) if len(local_jobs) < len(jobs) else None
         for job in jobs:
             solo_s = job.spec.solo_iteration_time(self.reference_capacity)
-            report.solo_ms[job.job_id] = solo_s * 1e3
+            report.solo_ms[job.job_id] = to_milliseconds(solo_s)
             if job.job_id in local_jobs:
                 mean_s = solo_s
             else:
@@ -152,6 +152,6 @@ class ClusterSimulation:
                 mean_s = result.mean_iteration_time(
                     job.job_id, skip=warmup_iterations
                 )
-            report.iteration_ms[job.job_id] = mean_s * 1e3
+            report.iteration_ms[job.job_id] = to_milliseconds(mean_s)
             report.slowdown[job.job_id] = mean_s / solo_s
         return report

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..errors import WorkloadError
 from ..sim.rng import RandomStreams
-from ..units import gbps
+from ..units import gbps, milliseconds
 from .job import JobSpec
 from .models import MODEL_ZOO
 
@@ -52,9 +52,11 @@ class WorkloadGenerator:
         is uniform; batch size is reported for flavour only.
         """
         low_ms, high_ms = self._iteration_range_ms
-        iteration_s = float(
-            np.exp(self._rng.uniform(np.log(low_ms), np.log(high_ms)))
-        ) * 1e-3
+        iteration_s = milliseconds(
+            float(
+                np.exp(self._rng.uniform(np.log(low_ms), np.log(high_ms)))
+            )
+        )
         # Round to whole milliseconds so unified-circle LCMs stay small
         # enough for exact compatibility checks (profiling granularity).
         iteration_s = max(round(iteration_s, 3), 2e-3)

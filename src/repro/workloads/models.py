@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..errors import WorkloadError
+from ..units import milliseconds
 
 #: Bytes per parameter for FP32 gradients exchanged during allreduce.
 BYTES_PER_PARAM = 4
@@ -41,13 +42,16 @@ class ModelSpec:
     @property
     def gradient_bytes(self) -> float:
         """Size of one full gradient exchange, bytes (FP32)."""
-        return self.params_millions * 1e6 * BYTES_PER_PARAM
+        # 1e6 is millions -> count, not a time/rate unit conversion.
+        return (
+            self.params_millions * 1e6 * BYTES_PER_PARAM  # simlint: disable=UNIT001 - scale factor, not a unit
+        )
 
     def compute_time(self, batch_size: int) -> float:
         """Synthetic compute-phase duration for ``batch_size``, seconds."""
         if batch_size < 1:
             raise WorkloadError(f"batch size must be >= 1, got {batch_size}")
-        return self.compute_ms_per_sample * batch_size * 1e-3
+        return milliseconds(self.compute_ms_per_sample * batch_size)
 
 
 #: Published parameter counts; compute coefficients chosen so that the

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..errors import WorkloadError
-from ..units import gbps
+from ..units import gbps, milliseconds
 from .allreduce import AllreduceAlgorithm, bytes_per_worker
 from .job import JobSpec
 from .models import model
@@ -116,7 +116,7 @@ def self_compatibility_threshold(
     if grad <= 0:
         return 1  # no traffic: trivially compatible
     comm_time = grad / capacity
-    per_sample = spec_model.compute_ms_per_sample * 1e-3
+    per_sample = milliseconds(spec_model.compute_ms_per_sample)
     threshold = math.ceil(comm_time / per_sample)
     if threshold > max_batch:
         return None

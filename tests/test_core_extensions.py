@@ -6,7 +6,11 @@ import pytest
 from repro.core.circle import JobCircle
 from repro.core.cluster_compat import ClusterCompatibilityProblem
 from repro.core.optimize import solve, solve_fractional
-from repro.core.tuning import scale_compute, suggest_compute_scaling
+from repro.core.tuning import (
+    TuningSuggestion,
+    scale_compute,
+    suggest_compute_scaling,
+)
 from repro.core.unified import UnifiedCircle
 from repro.errors import CompatibilityError, GeometryError
 from repro.units import gbps, ms
@@ -217,6 +221,21 @@ class TestTuning:
             suggest_compute_scaling(
                 [JobCircle.from_phases("a", 10, 10)], max_scale_change=0.0
             )
+
+    def test_jobs_touched_tolerates_float_noise(self):
+        # Regression for the FP001 fix: a scale that differs from 1.0
+        # only by accumulated rounding must not count as "touched".
+        circles = (
+            JobCircle.from_phases("a", 210, 90),
+            JobCircle.from_phases("b", 210, 90),
+        )
+        suggestion = TuningSuggestion(
+            scales={"a": 1.0 + 1e-12, "b": 1.05},
+            circles=circles,
+            rotations={"a": 0, "b": 0},
+            total_adjustment=0.05,
+        )
+        assert suggestion.jobs_touched == 1
 
 
 class TestMultiPhaseCircles:

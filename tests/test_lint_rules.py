@@ -1,0 +1,710 @@
+"""Fixture tests for every :mod:`repro.lint` rule.
+
+Each rule gets at least one triggering and one non-triggering snippet,
+linted through :func:`repro.lint.lint_source` against a virtual path so
+scoping behaves exactly as it does on real files.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import (
+    Baseline,
+    Finding,
+    Severity,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from repro.lint.suppress import is_suppressed, suppressions
+
+
+def lint(source: str, path: str = "repro/module.py", **kwargs):
+    return lint_source(textwrap.dedent(source), path=path, **kwargs)
+
+
+def codes(findings) -> list:
+    return [finding.code for finding in findings]
+
+
+# ---------------------------------------------------------------- DET001
+
+
+class TestUnseededRandom:
+    def test_stdlib_random_flagged(self):
+        found = lint(
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """
+        )
+        assert codes(found) == ["DET001"]
+
+    def test_stdlib_random_alias_flagged(self):
+        found = lint(
+            """
+            import random as rnd
+
+            x = rnd.randint(0, 5)
+            """
+        )
+        assert codes(found) == ["DET001"]
+
+    def test_numpy_legacy_global_flagged(self):
+        found = lint(
+            """
+            import numpy as np
+
+            noise = np.random.rand(10)
+            """
+        )
+        assert codes(found) == ["DET001"]
+
+    def test_unseeded_default_rng_flagged(self):
+        found = lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """
+        )
+        assert codes(found) == ["DET001"]
+        assert "entropy" in found[0].message
+
+    def test_seeded_default_rng_clean(self):
+        found = lint(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(42)
+            other = np.random.default_rng(seed=7)
+            """
+        )
+        assert found == []
+
+    def test_random_streams_clean(self):
+        found = lint(
+            """
+            from repro.sim.rng import RandomStreams
+
+            rng = RandomStreams(0).get("flows")
+            """
+        )
+        assert found == []
+
+    def test_local_name_random_not_confused(self):
+        # `random` here is a local callable, not the stdlib module.
+        found = lint(
+            """
+            def run(random):
+                return random()
+            """
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------- DET002
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        found = lint(
+            """
+            import time
+
+            start = time.time()
+            """,
+            path="repro/net/phasesim.py",
+        )
+        assert codes(found) == ["DET002"]
+
+    def test_perf_counter_via_from_import_flagged(self):
+        found = lint(
+            """
+            from time import perf_counter
+
+            start = perf_counter()
+            """,
+            path="repro/runner/parallel.py",
+        )
+        assert codes(found) == ["DET002"]
+
+    def test_datetime_now_flagged(self):
+        found = lint(
+            """
+            import datetime
+
+            stamp = datetime.datetime.now()
+            """
+        )
+        assert codes(found) == ["DET002"]
+
+    def test_telemetry_exempt(self):
+        found = lint(
+            """
+            import time
+
+            start = time.perf_counter()
+            """,
+            path="repro/telemetry/spans.py",
+        )
+        assert found == []
+
+    def test_non_clock_time_function_clean(self):
+        found = lint(
+            """
+            import time
+
+            time.sleep(0.1)
+            """
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------- DET003
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self):
+        found = lint(
+            """
+            for item in {1, 2, 3}:
+                print(item)
+            """,
+            path="repro/net/links.py",
+        )
+        assert codes(found) == ["DET003"]
+
+    def test_for_over_set_valued_name_flagged(self):
+        found = lint(
+            """
+            def drain(events):
+                pending = set(events)
+                for event in pending:
+                    handle(event)
+            """,
+            path="repro/sim/engine.py",
+        )
+        assert codes(found) == ["DET003"]
+
+    def test_comprehension_over_set_flagged(self):
+        found = lint(
+            """
+            names = [name for name in {"a", "b"}]
+            """,
+            path="repro/core/circle.py",
+        )
+        assert codes(found) == ["DET003"]
+
+    def test_sorted_set_clean(self):
+        found = lint(
+            """
+            def drain(events):
+                pending = set(events)
+                for event in sorted(pending):
+                    handle(event)
+            """,
+            path="repro/net/links.py",
+        )
+        assert found == []
+
+    def test_same_name_in_other_function_clean(self):
+        # A set-valued `links` in one function must not flag the
+        # parameter `links` of another (per-scope name tracking).
+        found = lint(
+            """
+            def build():
+                links = {object()}
+                return sorted(links, key=id)
+
+            def walk(links):
+                for link in links:
+                    visit(link)
+            """,
+            path="repro/core/topology.py",
+        )
+        assert found == []
+
+    def test_out_of_scope_path_clean(self):
+        found = lint(
+            """
+            for item in {1, 2, 3}:
+                print(item)
+            """,
+            path="repro/workloads/generator.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------- UNIT001
+
+
+class TestMagicUnitFactor:
+    def test_inline_milli_factor_flagged(self):
+        found = lint(
+            """
+            def to_seconds(ms):
+                return ms * 1e-3
+            """,
+            path="repro/net/phasesim.py",
+        )
+        assert codes(found) == ["UNIT001"]
+        assert found[0].severity is Severity.WARNING
+
+    def test_inline_division_flagged(self):
+        found = lint(
+            """
+            def to_ms(seconds):
+                return seconds / 1e-3
+            """,
+            path="repro/workloads/models.py",
+        )
+        assert codes(found) == ["UNIT001"]
+
+    def test_module_constant_exempt(self):
+        found = lint(
+            """
+            TICKS_PER_SECOND = 1e6
+
+            def to_ticks(seconds):
+                return seconds * TICKS_PER_SECOND
+            """,
+            path="repro/sim/clock.py",
+        )
+        assert found == []
+
+    def test_tolerance_addition_clean(self):
+        # Only Mult/Div operands count: additive epsilons and
+        # comparisons are not unit conversions.
+        found = lint(
+            """
+            def close(a, b):
+                return abs(a - b) < 1e-9
+
+            def pad(x):
+                return x + 1e-6
+            """,
+            path="repro/net/fluid.py",
+        )
+        assert found == []
+
+    def test_units_helper_clean(self):
+        found = lint(
+            """
+            from repro.units import milliseconds
+
+            def to_seconds(ms):
+                return milliseconds(ms)
+            """,
+            path="repro/net/phasesim.py",
+        )
+        assert found == []
+
+    def test_out_of_scope_path_clean(self):
+        found = lint(
+            """
+            x = 5 * 1e-3
+            """,
+            path="repro/telemetry/metrics.py",
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------- FP001
+
+
+class TestFloatEquality:
+    def test_eq_float_literal_flagged(self):
+        found = lint(
+            """
+            def check(rate):
+                return rate == 1.0
+            """,
+            path="repro/core/circle.py",
+        )
+        assert codes(found) == ["FP001"]
+
+    def test_noteq_float_literal_flagged(self):
+        found = lint(
+            """
+            def changed(rate):
+                return rate != 0.5
+            """,
+            path="repro/cc/dcqcn.py",
+        )
+        assert codes(found) == ["FP001"]
+
+    def test_chained_comparison_flagged_once_per_op(self):
+        found = lint(
+            """
+            def check(a, b):
+                return a == 1.0 == b
+            """,
+            path="repro/core/circle.py",
+        )
+        assert codes(found) == ["FP001", "FP001"]
+
+    def test_isclose_clean(self):
+        found = lint(
+            """
+            from repro.floats import isclose
+
+            def check(rate):
+                return isclose(rate, 1.0)
+            """,
+            path="repro/core/circle.py",
+        )
+        assert found == []
+
+    def test_int_literal_clean(self):
+        found = lint(
+            """
+            def check(count):
+                return count == 3
+            """,
+            path="repro/core/circle.py",
+        )
+        assert found == []
+
+    def test_variable_comparison_clean(self):
+        # Variable-vs-variable equality can be intentional (exact
+        # dedup); only float literals are flagged.
+        found = lint(
+            """
+            def same(a, b):
+                return a == b
+            """,
+            path="repro/net/phasesim.py",
+        )
+        assert found == []
+
+    def test_out_of_scope_path_clean(self):
+        found = lint(
+            """
+            x = 1.0
+            flag = x == 1.0
+            """,
+            path="repro/workloads/models.py",
+        )
+        assert found == []
+
+
+# ------------------------------------------------------------- PICKLE001
+
+
+class TestUnpicklableBackend:
+    def test_lambda_backend_flagged(self):
+        found = lint(
+            """
+            from repro.runner import backends
+
+            backends.register("quick", lambda spec: None)
+            """
+        )
+        assert codes(found) == ["PICKLE001"]
+
+    def test_nested_class_backend_flagged(self):
+        found = lint(
+            """
+            from repro.runner import backends
+
+            def install():
+                class Backend:
+                    def execute(self, spec):
+                        return None
+
+                backends.register("nested", Backend())
+            """
+        )
+        assert codes(found) == ["PICKLE001"]
+
+    def test_backend_keyword_flagged(self):
+        found = lint(
+            """
+            from repro.runner import backends
+
+            def install():
+                class Backend:
+                    pass
+
+                backends.register("nested", backend=Backend())
+            """
+        )
+        assert codes(found) == ["PICKLE001"]
+
+    def test_module_level_backend_clean(self):
+        found = lint(
+            """
+            from repro.runner import backends
+
+            class Backend:
+                def execute(self, spec):
+                    return None
+
+            backends.register("good", Backend())
+            """
+        )
+        assert found == []
+
+    def test_unrelated_register_clean(self):
+        # `register` on something that is not the runner registry.
+        found = lint(
+            """
+            import atexit
+
+            atexit.register(lambda: None)
+            """
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------- RUN001
+
+
+class TestDirectSimulator:
+    def test_direct_instantiation_flagged(self):
+        found = lint(
+            """
+            from repro.net.phasesim import PhaseLevelSimulator
+
+            def main():
+                sim = PhaseLevelSimulator(topology, policy, seed=0)
+                sim.run()
+            """,
+            path="repro/experiments/figure9.py",
+        )
+        assert codes(found) == ["RUN001"]
+
+    def test_adapter_class_clean(self):
+        found = lint(
+            """
+            from repro.net.phasesim import PhaseLevelSimulator
+
+            class PhaseBackend:
+                def execute(self, spec):
+                    sim = PhaseLevelSimulator(spec.topo, spec.policy)
+                    return sim.run()
+            """,
+            path="repro/experiments/figure9.py",
+        )
+        assert found == []
+
+    def test_run_many_clean(self):
+        found = lint(
+            """
+            from repro.runner import RunSpec, run_many
+
+            def main():
+                specs = [RunSpec(backend="phase", params={})]
+                return run_many(specs)
+            """,
+            path="repro/experiments/figure9.py",
+        )
+        assert found == []
+
+    def test_outside_experiments_clean(self):
+        found = lint(
+            """
+            from repro.net.phasesim import PhaseLevelSimulator
+
+            sim = PhaseLevelSimulator(topology, policy)
+            """,
+            path="repro/scheduler/simulation.py",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------- suppression
+
+
+class TestSuppressions:
+    def test_inline_disable_one_code(self):
+        found = lint(
+            """
+            import time
+
+            start = time.time()  # simlint: disable=DET002 - benchmark only
+            """,
+            path="repro/net/bench.py",
+        )
+        assert found == []
+
+    def test_inline_disable_wrong_code_still_flags(self):
+        found = lint(
+            """
+            import time
+
+            start = time.time()  # simlint: disable=UNIT001
+            """,
+            path="repro/net/bench.py",
+        )
+        assert codes(found) == ["DET002"]
+
+    def test_bare_disable_suppresses_everything(self):
+        found = lint(
+            """
+            import time
+
+            start = time.time()  # simlint: disable
+            """,
+            path="repro/net/bench.py",
+        )
+        assert found == []
+
+    def test_disable_multiple_codes(self):
+        found = lint(
+            """
+            import time
+
+            x = time.time() * 1e-3  # simlint: disable=DET002,UNIT001
+            """,
+            path="repro/net/bench.py",
+        )
+        assert found == []
+
+    def test_marker_inside_string_ignored(self):
+        # tokenize-based scan: the marker in a string literal is not a
+        # comment, so the finding on the same line survives.
+        found = lint(
+            """
+            import time
+
+            msg = "# simlint: disable=DET002"
+            start = time.time()
+            """,
+            path="repro/net/bench.py",
+        )
+        assert codes(found) == ["DET002"]
+
+    def test_suppression_table(self):
+        table = suppressions(
+            "x = 1  # simlint: disable=DET002, UNIT001 (why)\n"
+        )
+        assert is_suppressed(table, 1, "DET002")
+        assert is_suppressed(table, 1, "UNIT001")
+        assert not is_suppressed(table, 1, "FP001")
+        assert not is_suppressed(table, 2, "DET002")
+
+
+# -------------------------------------------------------------- baseline
+
+
+class TestBaseline:
+    def _finding(self, line=3):
+        return Finding(
+            path="repro/net/x.py",
+            line=line,
+            col=0,
+            code="DET002",
+            message="wall-clock call",
+            severity=Severity.ERROR,
+            hint="",
+        )
+
+    def test_roundtrip_and_split(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        old = self._finding()
+        Baseline.write(path, [old])
+        baseline = Baseline.load(path)
+        fresh, baselined = baseline.split([old, self._finding(line=9)])
+        assert [f.line for f in fresh] == [9]
+        assert [f.line for f in baselined] == [3]
+
+    def test_entries_consumed_one_for_one(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [self._finding()])
+        baseline = Baseline.load(path)
+        # Two identical findings against one baseline entry: only one
+        # is grandfathered.
+        fresh, baselined = baseline.split(
+            [self._finding(), self._finding()]
+        )
+        assert len(fresh) == 1 and len(baselined) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        fresh, baselined = baseline.split([self._finding()])
+        assert len(fresh) == 1 and baselined == []
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            Baseline.load(path)
+
+
+# ------------------------------------------------------ engine & registry
+
+
+class TestEngine:
+    def test_select_restricts_rules(self):
+        source = """
+        import time
+
+        start = time.time() * 1e-3
+        """
+        assert codes(lint(source, path="repro/net/x.py")) == [
+            "DET002", "UNIT001",
+        ]
+        assert codes(
+            lint(source, path="repro/net/x.py", select=["DET002"])
+        ) == ["DET002"]
+        assert codes(
+            lint(source, path="repro/net/x.py", ignore=["DET002"])
+        ) == ["UNIT001"]
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ConfigError):
+            select_rules(["NOPE999"], None)
+        with pytest.raises(ConfigError):
+            get_rule("NOPE999")
+
+    def test_all_seven_rules_registered(self):
+        registered = {rule.code for rule in all_rules()}
+        assert registered >= {
+            "DET001", "DET002", "DET003",
+            "UNIT001", "FP001", "PICKLE001", "RUN001",
+        }
+
+    def test_unparseable_file_reports_parse_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        report = lint_paths([str(bad)])
+        assert codes(report.findings) == ["PARSE000"]
+        assert not report.ok
+
+    def test_report_json_document(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import time\nstart = time.time()\n", encoding="utf-8"
+        )
+        report = lint_paths([str(target)])
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["version"] == 1
+        assert doc["summary"]["by_code"] == {"DET002": 1}
+        (entry,) = doc["findings"]
+        assert entry["code"] == "DET002"
+        assert entry["line"] == 2
+
+    def test_findings_sorted_by_position(self):
+        found = lint(
+            """
+            import time
+
+            later = time.time() * 1e-3
+            earlier = time.time()
+            """,
+            path="repro/net/x.py",
+        )
+        assert [(f.line, f.code) for f in found] == sorted(
+            (f.line, f.code) for f in found
+        )

@@ -1,0 +1,81 @@
+"""The linter runs clean on the repo's own source tree.
+
+This is the merge gate the PR establishes: every invariant rule passes
+on ``src/repro`` with an *empty* baseline, so any regression — a stray
+``time.time()``, an inline ``* 1e-3``, a float ``==`` — fails CI here
+and in the workflow's lint job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.cli import main as experiments_main
+from repro.lint import lint_paths
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main as lint_main
+
+#: The installed package tree (works from any cwd, src layout or not).
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+
+def test_package_tree_is_lint_clean():
+    report = lint_paths([str(PACKAGE_DIR)])
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.ok, f"lint findings on src/repro:\n{rendered}"
+    # Sanity: the walk actually visited the tree.
+    assert report.files > 50
+
+
+def test_committed_baseline_is_empty():
+    path = Path(__file__).resolve().parents[1] / "lint-baseline.json"
+    assert path.exists(), "lint-baseline.json must be committed"
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert document == {"version": 1, "findings": []}
+    assert len(Baseline.load(path)) == 0
+
+
+def test_lint_cli_exits_zero_on_package(capsys):
+    assert lint_main([str(PACKAGE_DIR)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_lint_cli_json_mode(capsys):
+    assert lint_main([str(PACKAGE_DIR), "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["summary"]["total"] == 0
+    assert document["findings"] == []
+
+
+def test_experiments_cli_mounts_lint_subcommand(capsys):
+    assert experiments_main(["lint", str(PACKAGE_DIR)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_cli_nonzero_on_finding(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text("import time\nstart = time.time()\n", encoding="utf-8")
+    assert lint_main([str(bad)]) == 1
+    assert "DET002" in capsys.readouterr().out
+
+
+def test_lint_cli_write_baseline_grandfathers(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text("import time\nstart = time.time()\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    assert lint_main(
+        [str(bad), "--write-baseline", "--baseline", str(baseline)]
+    ) == 0
+    capsys.readouterr()
+    # With the baseline the same findings no longer fail the run...
+    assert lint_main([str(bad), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+    # ...but a fresh finding still does.
+    bad.write_text(
+        "import time\nstart = time.time()\nstop = time.time()\n",
+        encoding="utf-8",
+    )
+    assert lint_main([str(bad), "--baseline", str(baseline)]) == 1
