@@ -70,6 +70,12 @@ from .workloads import (
 from .core import (
     Arc,
     ArcSet,
+    Gate,
+    IterationSample,
+    JobLifecycle,
+    JobState,
+    JobTimeline,
+    OnOffSource,
     JobCircle,
     UnifiedCircle,
     CompatibilityChecker,
@@ -138,6 +144,8 @@ __all__ = [
     "paper_profile", "figure2_vgg19_pair", "figure3_vgg16", "table1_groups",
     # core
     "Arc", "ArcSet", "JobCircle", "UnifiedCircle",
+    "Gate", "IterationSample", "JobLifecycle", "JobState",
+    "JobTimeline", "OnOffSource",
     "CompatibilityChecker", "CompatibilityResult",
     "ClusterCompatibilityProblem", "ClusterCompatibilityResult",
     "TuningSuggestion", "suggest_compute_scaling",

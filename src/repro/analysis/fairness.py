@@ -42,9 +42,9 @@ def _contention_windows(
     """Time windows during which two or more jobs communicate."""
     events: List[Tuple[float, int]] = []
     for job_id in job_ids:
-        for record in result.jobs[job_id].records:
-            events.append((record.comm_start, 1))
-            events.append((record.end, -1))
+        for sample in result.timeline(job_id):
+            events.append((sample.comm_start, 1))
+            events.append((sample.end, -1))
     events.sort()
     windows: List[Tuple[float, float]] = []
     depth = 0

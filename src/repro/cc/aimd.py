@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..core.lifecycle import JobLifecycle, OnOffSource
+from ..core.timeline import JobTimeline
 from ..errors import ConfigError, SimulationError
 from ..sim.trace import TimeSeries
 from ..switches.queues import FluidQueue
@@ -59,12 +61,95 @@ class _AimdSender:
         )
 
 
+class _AimdBurstSender:
+    """One communication burst's AIMD rate state.
+
+    Fluid-sender protocol for :class:`repro.core.lifecycle.OnOffSource`:
+    rate changes come from the simulator's loss feedback (grow/cut), not
+    from the per-step marking probability, which AIMD ignores.
+    """
+
+    def __init__(self, params: AimdParams, data_bytes: float) -> None:
+        self.params = params
+        self.rate = params.min_rate
+        self.remaining = data_bytes
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0
+
+    def step(self, now: float, dt: float, marking_probability: float) -> float:
+        if self.done:
+            return 0.0
+        sent = min(self.rate * dt, self.remaining)
+        self.remaining -= sent
+        return sent
+
+    def grow(self, dt: float) -> None:
+        self.rate = min(
+            self.rate + self.params.increase_rate * dt, self.params.line_rate
+        )
+
+    def cut(self) -> None:
+        self.rate = max(
+            self.rate * self.params.decrease_factor, self.params.min_rate
+        )
+
+
+class OnOffAimdJob(OnOffSource):
+    """A training job's on-off traffic under AIMD congestion control.
+
+    Same shared lifecycle clockwork as the DCQCN tier
+    (:class:`repro.cc.dcqcn.OnOffDcqcnJob`); each communication burst
+    starts a fresh AIMD ramp from the rate floor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: AimdParams,
+        compute_time: float,
+        comm_bytes: float,
+        start_offset: float = 0.0,
+    ) -> None:
+        self.params = params
+        self.compute_time = compute_time
+        self.comm_bytes = comm_bytes
+        lifecycle = JobLifecycle(
+            job_id=name,
+            segments=((compute_time, comm_bytes),),
+            start_offset=start_offset,
+        )
+        super().__init__(name, lifecycle, self._make_sender)
+
+    def _make_sender(self, data_bytes: float) -> _AimdBurstSender:
+        return _AimdBurstSender(self.params, data_bytes)
+
+    def grow(self, dt: float) -> None:
+        """Forward loss-free feedback to the active burst, if any."""
+        if self._sender is not None:
+            self._sender.grow(dt)
+
+    def cut(self) -> None:
+        """Forward loss feedback to the active burst, if any."""
+        if self._sender is not None:
+            self._sender.cut()
+
+
 @dataclass
 class AimdResult:
-    """Sampled rates from an AIMD run."""
+    """Sampled rates from an AIMD run.
+
+    Attributes:
+        rate_series: Per-sender sending-rate samples (bytes/s).
+        duration: Simulated seconds.
+        timelines: Canonical iteration timelines of every on-off job
+            (plain long-lived senders have none).
+    """
 
     rate_series: Dict[str, TimeSeries] = field(default_factory=dict)
     duration: float = 0.0
+    timelines: Dict[str, JobTimeline] = field(default_factory=dict)
 
     def mean_rate(self, name: str, start: float = 0.0) -> float:
         """Time-average rate of sender ``name`` from ``start`` onward."""
@@ -73,6 +158,20 @@ class AimdResult:
         if not mask.any():
             raise SimulationError(f"no samples for {name} after {start}")
         return float(series.values[mask].mean())
+
+    def timeline(self, name: str) -> JobTimeline:
+        """One on-off job's canonical timeline."""
+        if name not in self.timelines:
+            raise SimulationError(f"no timeline recorded for {name!r}")
+        return self.timelines[name]
+
+    def mean_iteration_time(self, name: str, skip: int = 0) -> float:
+        """Mean iteration time of one on-off job, seconds."""
+        return self.timeline(name).mean_iteration_time(skip)
+
+    def median_iteration_time(self, name: str, skip: int = 0) -> float:
+        """Median iteration time of one on-off job, seconds."""
+        return self.timeline(name).median_iteration_time(skip)
 
 
 class AimdFluidSimulator:
@@ -92,17 +191,35 @@ class AimdFluidSimulator:
         self.dt = dt
         self.sample_interval = sample_interval
         self._senders: List[_AimdSender] = []
+        self._jobs: List[OnOffAimdJob] = []
 
     def add_sender(self, name: str, params: Optional[AimdParams] = None) -> None:
         """Register a long-lived AIMD sender."""
         self._senders.append(_AimdSender(name, params or AimdParams()))
 
+    def add_job(
+        self,
+        name: str,
+        compute_time: float,
+        comm_bytes: float,
+        params: Optional[AimdParams] = None,
+        start_offset: float = 0.0,
+    ) -> OnOffAimdJob:
+        """Register an on-off training job under AIMD control."""
+        job = OnOffAimdJob(
+            name, params or AimdParams(), compute_time, comm_bytes,
+            start_offset=start_offset,
+        )
+        self._jobs.append(job)
+        return job
+
     def run(self, duration: float) -> AimdResult:
-        """Simulate ``duration`` seconds; all senders always backlogged."""
-        if not self._senders:
+        """Simulate ``duration`` seconds; plain senders always backlogged."""
+        if not self._senders and not self._jobs:
             raise SimulationError("add at least one sender before run()")
+        sources = self._senders + self._jobs
         result = AimdResult(
-            rate_series={s.name: TimeSeries(s.name) for s in self._senders},
+            rate_series={s.name: TimeSeries(s.name) for s in sources},
             duration=duration,
         )
         steps = int(round(duration / self.dt))
@@ -110,18 +227,21 @@ class AimdFluidSimulator:
         now = 0.0
         for step_index in range(steps):
             arrival = sum(s.rate for s in self._senders)
+            for job in self._jobs:
+                arrival += job.step(now, self.dt, 0.0) / self.dt
             dropped_before = self.queue.dropped_bytes
             self.queue.step(arrival, self.dt)
             if self.queue.dropped_bytes > dropped_before:
                 # Loss is congestion feedback: every sender backs off
                 # (synchronized loss — the worst case for fairness churn).
-                for sender in self._senders:
-                    sender.cut()
+                for source in sources:
+                    source.cut()
             else:
-                for sender in self._senders:
-                    sender.grow(self.dt)
+                for source in sources:
+                    source.grow(self.dt)
             now += self.dt
             if step_index % samples_every == 0:
-                for sender in self._senders:
-                    result.rate_series[sender.name].record(now, sender.rate)
+                for source in sources:
+                    result.rate_series[source.name].record(now, source.rate)
+        result.timelines = {job.name: job.timeline for job in self._jobs}
         return result

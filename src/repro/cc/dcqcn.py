@@ -31,6 +31,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.lifecycle import JobLifecycle, OnOffSource
+from ..core.timeline import JobTimeline
 from ..errors import ConfigError, SimulationError
 from ..sim.trace import TimeSeries
 from ..switches.ecn import RedEcnMarker
@@ -204,15 +206,17 @@ class DcqcnSender:
             self._next_alpha_decay += self.params.alpha_timer
 
 
-class OnOffDcqcnJob:
+class OnOffDcqcnJob(OnOffSource):
     """A training job's on-off traffic driven by the DCQCN state machine.
 
     Alternates compute phases (no traffic) with communication phases that
     inject ``comm_bytes`` under a fresh DCQCN sender (RDMA flows start at
-    line rate). Plugs into :class:`DcqcnFluidSimulator` alongside plain
-    senders, enabling a *cross-fidelity* check: the sliding effect the
-    phase-level simulator predicts must also emerge from the microsecond-
-    scale rate dynamics.
+    line rate). The on-off clockwork is the shared
+    :class:`repro.core.lifecycle.JobLifecycle`; this class only supplies
+    the DCQCN sender per burst. Plugs into :class:`DcqcnFluidSimulator`
+    alongside plain senders, enabling a *cross-fidelity* check: the
+    sliding effect the phase-level simulator predicts must also emerge
+    from the microsecond-scale rate dynamics.
     """
 
     def __init__(
@@ -224,59 +228,22 @@ class OnOffDcqcnJob:
         comm_bytes: float,
         start_offset: float = 0.0,
     ) -> None:
-        if compute_time < 0 or comm_bytes <= 0:
-            raise ConfigError(
-                "need compute_time >= 0 and comm_bytes > 0"
-            )
-        self.name = name
         self.params = params
         self._rng = rng
         self.compute_time = compute_time
         self.comm_bytes = comm_bytes
-        self.iteration_starts: List[float] = [start_offset]
-        self.iteration_ends: List[float] = []
-        self.comm_starts: List[float] = []
-        self._sender: Optional[DcqcnSender] = None
-        self._comm_deadline = start_offset + compute_time
+        lifecycle = JobLifecycle(
+            job_id=name,
+            segments=((compute_time, comm_bytes),),
+            start_offset=start_offset,
+        )
+        super().__init__(name, lifecycle, self._make_sender)
 
-    @property
-    def done(self) -> bool:
-        """On-off jobs run for the whole simulation."""
-        return False
-
-    @property
-    def rate(self) -> float:
-        """Instantaneous sending rate (0 while computing)."""
-        if self._sender is None or self._sender.done:
-            return 0.0
-        return self._sender.rate
-
-    def iteration_times(self) -> np.ndarray:
-        """Durations of completed iterations, seconds."""
-        n = len(self.iteration_ends)
-        starts = np.asarray(self.iteration_starts[:n])
-        ends = np.asarray(self.iteration_ends)
-        return ends - starts
-
-    def step(self, now: float, dt: float, marking_probability: float) -> float:
-        """Advance one step; returns bytes injected."""
-        if self._sender is None:
-            if now + dt < self._comm_deadline:
-                return 0.0
-            # Communication phase begins: fresh DCQCN state at line rate.
-            self._sender = DcqcnSender(
-                self.name, self.params, self._rng,
-                data_bytes=self.comm_bytes,
-            )
-            self.comm_starts.append(now)
-        sent = self._sender.step(now, dt, marking_probability)
-        if self._sender.done:
-            end = now + dt
-            self.iteration_ends.append(end)
-            self.iteration_starts.append(end)
-            self._sender = None
-            self._comm_deadline = end + self.compute_time
-        return sent
+    def _make_sender(self, data_bytes: float) -> DcqcnSender:
+        # Communication phase begins: fresh DCQCN state at line rate.
+        return DcqcnSender(
+            self.name, self.params, self._rng, data_bytes=data_bytes
+        )
 
 
 @dataclass
@@ -287,11 +254,28 @@ class DcqcnResult:
         rate_series: Per-sender sending-rate samples (bytes/s).
         queue_series: Bottleneck queue occupancy samples (bytes).
         duration: Simulated seconds.
+        timelines: Canonical iteration timelines of every on-off job
+            (plain long-lived senders have none).
     """
 
     rate_series: Dict[str, TimeSeries] = field(default_factory=dict)
     queue_series: TimeSeries = field(default_factory=lambda: TimeSeries("queue"))
     duration: float = 0.0
+    timelines: Dict[str, JobTimeline] = field(default_factory=dict)
+
+    def timeline(self, name: str) -> JobTimeline:
+        """One on-off job's canonical timeline."""
+        if name not in self.timelines:
+            raise SimulationError(f"no timeline recorded for {name!r}")
+        return self.timelines[name]
+
+    def mean_iteration_time(self, name: str, skip: int = 0) -> float:
+        """Mean iteration time of one on-off job, seconds."""
+        return self.timeline(name).mean_iteration_time(skip)
+
+    def median_iteration_time(self, name: str, skip: int = 0) -> float:
+        """Median iteration time of one on-off job, seconds."""
+        return self.timeline(name).median_iteration_time(skip)
 
     def mean_rate(self, name: str, start: float = 0.0, end: Optional[float] = None) -> float:
         """Time-average sending rate of ``name`` over ``[start, end]``."""
@@ -411,6 +395,11 @@ class DcqcnFluidSimulator:
             cnp_counter = self.telemetry.counter("cc.cnps")
             for sender in self.senders:
                 cnp_counter.inc(getattr(sender, "cnps_received", 0))
+        result.timelines = {
+            sender.name: sender.timeline
+            for sender in self.senders
+            if isinstance(sender, OnOffSource)
+        }
         return result
 
     def _update_pfc(self) -> None:

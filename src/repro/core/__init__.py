@@ -1,4 +1,4 @@
-"""The paper's geometric abstraction and compatibility machinery.
+"""The paper's geometric abstraction, job lifecycle, and compatibility machinery.
 
 Time is *rolled around a circle* whose perimeter equals a job's training
 iteration time; communication phases become arcs (§3, Figure 3). Jobs with
@@ -14,6 +14,8 @@ LCM arithmetic and overlap tests are exact.
 """
 
 from .arcs import Arc, ArcSet
+from .lifecycle import Gate, JobLifecycle, JobState, OnOffSource
+from .timeline import IterationSample, JobTimeline
 from .circle import JobCircle
 from .unified import UnifiedCircle, unified_perimeter
 from .compatibility import (
@@ -55,6 +57,12 @@ from .metrics import (
 __all__ = [
     "Arc",
     "ArcSet",
+    "Gate",
+    "IterationSample",
+    "JobLifecycle",
+    "JobState",
+    "JobTimeline",
+    "OnOffSource",
     "JobCircle",
     "UnifiedCircle",
     "unified_perimeter",

@@ -15,14 +15,19 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from ..cc.base import SharePolicy
 from ..errors import ConfigError
 from ..net.phasesim import Gate, SimulationResult
-from ..net.topology import Topology
+from ..net.topology import BOTTLENECK, Topology
 from ..runner import RunSpec, freeze_mapping, run_many
 from ..telemetry import Telemetry
 from ..workloads.job import JobSpec
 from ..workloads.profiles import EFFECTIVE_BOTTLENECK
 
-#: Name of the shared bottleneck link in all dumbbell experiments.
-BOTTLENECK = "L1"
+__all__ = [
+    "BOTTLENECK",  # re-exported from repro.net.topology (single home)
+    "PairedRun",
+    "dumbbell_for",
+    "phase_spec",
+    "run_jobs",
+]
 
 
 def dumbbell_for(

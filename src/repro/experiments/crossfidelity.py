@@ -18,13 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..cc.dcqcn import AGGRESSIVE_TIMER, DEFAULT_TIMER
 from ..runner import RunSpec, ScenarioSpec, SenderSpec, run_many
-from ..units import gbps
+from ..units import gbps, to_milliseconds
 
 #: The Figure 2 VGG19 profile at 50 Gbps line rate: 100 ms compute plus
 #: 110 ms worth of bytes at the ~42 Gbps effective goodput.
@@ -120,8 +118,11 @@ def _summarize(result, skip: int) -> CrossFidelityResult:
     unfair = result.scenario("unfair")
 
     def mean_ms(scenario, name: str) -> float:
-        times = scenario.iteration_times(name)[skip:]
-        return float(np.mean(times) * 1e3)
+        # All tiers share the canonical timeline schema, so the summary
+        # is one accessor call — no per-backend glue.
+        return to_milliseconds(
+            scenario.timeline(name).mean_iteration_time(skip=skip)
+        )
 
     names = ("J1", "J2")
     return CrossFidelityResult(

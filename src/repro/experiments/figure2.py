@@ -47,12 +47,13 @@ class Figure2Result:
 
     def anchors(self) -> Dict[str, float]:
         """Measured counterparts of the paper's Figure 2b time anchors."""
-        jobs = self.unfair.jobs
+        j1 = self.unfair.timeline("J1").samples
+        j2 = self.unfair.timeline("J2").samples
         return {
-            "J1 first iteration end": jobs["J1"].records[0].end,
-            "J2 first iteration end": jobs["J2"].records[0].end,
-            "J1 second comm start": jobs["J1"].records[1].comm_start,
-            "J2 second comm start": jobs["J2"].records[1].comm_start,
+            "J1 first iteration end": j1[0].end,
+            "J2 first iteration end": j2[0].end,
+            "J1 second comm start": j1[1].comm_start,
+            "J2 second comm start": j2[1].comm_start,
         }
 
     def utilization(
@@ -100,14 +101,14 @@ class Figure2Result:
         The paper's qualitative claim: this shrinks iteration over
         iteration under unfairness and vanishes once the phases interleave.
         """
-        j1 = self.unfair.jobs["J1"]
-        j2 = self.unfair.jobs["J2"]
+        j1 = self.unfair.timeline("J1")
+        j2 = self.unfair.timeline("J2")
         overlaps: List[float] = []
-        for record in j1.records[:max_iterations]:
+        for sample in j1.samples[:max_iterations]:
             overlap = 0.0
-            for other in j2.records:
-                lo = max(record.comm_start, other.comm_start)
-                hi = min(record.end, other.end)
+            for other in j2:
+                lo = max(sample.comm_start, other.comm_start)
+                hi = min(sample.end, other.end)
                 overlap += max(0.0, hi - lo)
             overlaps.append(overlap)
         return overlaps

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from .. import io
 from ..telemetry import current
 from ..analysis.report import ascii_table
 from ..cc.adaptive import AdaptiveUnfair
@@ -156,6 +157,10 @@ def _report_from_data(data: Dict[str, object]) -> ClusterReport:
         solo_ms=dict(data["solo_ms"]),
         slowdown=dict(data["slowdown"]),
         policy_name=str(data["policy_name"]),
+        timelines={
+            job_id: io.timeline_from_dict(document)
+            for job_id, document in data.get("timelines", {}).items()
+        },
     )
 
 

@@ -22,14 +22,11 @@ from .cc.priority import PrioritySharing
 from .cc.weighted import StaticWeighted
 from .core.circle import JobCircle
 from .core.compatibility import CompatibilityResult
+from .core.lifecycle import JobState
+from .core.timeline import JobTimeline
 from .errors import ConfigError
 from .mechanisms.flow_scheduling import PeriodicGate
-from .net.phasesim import (
-    IterationRecord,
-    JobRun,
-    JobState,
-    SimulationResult,
-)
+from .net.phasesim import JobRun, SimulationResult
 from .net.topology import NodeKind, Topology
 from .sim.trace import StepFunction, TimeSeries
 from .telemetry.trace import TraceRecord
@@ -419,8 +416,24 @@ def time_series_from_dict(data: Dict[str, Any]) -> TimeSeries:
 
 
 # ---------------------------------------------------------------------------
-# Phase-level results
+# Timelines and phase-level results
 # ---------------------------------------------------------------------------
+
+def timeline_to_dict(timeline: JobTimeline) -> Dict[str, Any]:
+    """Serialize a canonical job timeline (compact sample rows)."""
+    return {
+        "job_id": timeline.job_id,
+        "samples": timeline.to_rows(),
+    }
+
+
+def timeline_from_dict(data: Dict[str, Any]) -> JobTimeline:
+    """Deserialize a canonical job timeline."""
+    try:
+        return JobTimeline.from_rows(data["job_id"], data["samples"])
+    except KeyError as exc:
+        raise ConfigError(f"missing field in timeline: {exc}") from exc
+
 
 def job_run_to_dict(run: JobRun) -> Dict[str, Any]:
     """Serialize a completed job run (flows/gate/rng are not carried)."""
@@ -429,10 +442,7 @@ def job_run_to_dict(run: JobRun) -> Dict[str, Any]:
         "n_iterations": run.n_iterations,
         "start_offset": run.start_offset,
         "state": run.state.value,
-        "iterations_done": run.iterations_done,
-        "records": [
-            [r.index, r.start, r.comm_start, r.end] for r in run.records
-        ],
+        "timeline": timeline_to_dict(run.timeline),
         "rate_trace": step_function_to_dict(run.rate_trace),
     }
 
@@ -448,16 +458,7 @@ def job_run_from_dict(data: Dict[str, Any]) -> JobRun:
         rng=np.random.default_rng(0),
     )
     run.state = JobState(data["state"])
-    run.iterations_done = int(data["iterations_done"])
-    run.records = [
-        IterationRecord(
-            index=int(index),
-            start=float(start),
-            comm_start=float(comm_start),
-            end=float(end),
-        )
-        for index, start, comm_start, end in data["records"]
-    ]
+    run.lifecycle.timeline = timeline_from_dict(data["timeline"])
     run.rate_trace = step_function_from_dict(data["rate_trace"])
     return run
 
@@ -505,6 +506,10 @@ def dcqcn_result_to_dict(result: Any) -> Dict[str, Any]:
         },
         "queue_series": time_series_to_dict(result.queue_series),
         "duration": result.duration,
+        "timelines": {
+            name: timeline_to_dict(timeline)
+            for name, timeline in sorted(result.timelines.items())
+        },
     }
 
 
@@ -519,6 +524,10 @@ def dcqcn_result_from_dict(data: Dict[str, Any]) -> Any:
         },
         queue_series=time_series_from_dict(data["queue_series"]),
         duration=float(data["duration"]),
+        timelines={
+            name: timeline_from_dict(entry)
+            for name, entry in data.get("timelines", {}).items()
+        },
     )
 
 
@@ -695,17 +704,9 @@ def fluid_scenario_result_to_dict(scenario: Any) -> Dict[str, Any]:
     """Serialize one fluid scenario result."""
     return {
         "trace": dcqcn_result_to_dict(scenario.trace),
-        "iteration_starts": {
-            name: list(values)
-            for name, values in sorted(scenario.iteration_starts.items())
-        },
-        "iteration_ends": {
-            name: list(values)
-            for name, values in sorted(scenario.iteration_ends.items())
-        },
-        "comm_starts": {
-            name: list(values)
-            for name, values in sorted(scenario.comm_starts.items())
+        "timelines": {
+            name: timeline_to_dict(timeline)
+            for name, timeline in sorted(scenario.timelines.items())
         },
     }
 
@@ -716,17 +717,9 @@ def fluid_scenario_result_from_dict(data: Dict[str, Any]) -> Any:
 
     return FluidScenarioResult(
         trace=dcqcn_result_from_dict(data["trace"]),
-        iteration_starts={
-            name: [float(v) for v in values]
-            for name, values in data["iteration_starts"].items()
-        },
-        iteration_ends={
-            name: [float(v) for v in values]
-            for name, values in data["iteration_ends"].items()
-        },
-        comm_starts={
-            name: [float(v) for v in values]
-            for name, values in data["comm_starts"].items()
+        timelines={
+            name: timeline_from_dict(entry)
+            for name, entry in data["timelines"].items()
         },
     )
 

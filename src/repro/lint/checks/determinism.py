@@ -183,11 +183,12 @@ class SetIterationRule(BaseRule):
     code = "DET003"
     name = "set-iteration"
     severity = Severity.ERROR
-    scope = ("net", "sim", "core")
+    scope = ("net", "sim", "core", "mechanisms", "switches", "scheduler")
     description = (
         "set iteration order depends on randomized string hashing; in "
-        "net/, sim/ and core/ it silently reorders events, allocations "
-        "and trace records between runs."
+        "net/, sim/, core/, mechanisms/, switches/ and scheduler/ it "
+        "silently reorders events, allocations and trace records "
+        "between runs."
     )
     hint = "iterate `sorted(the_set)` (or keep an ordered list/dict)"
 

@@ -8,6 +8,11 @@ and the fluid allocator for rates. Between such events rates are constant,
 so phase completions are computed *exactly*; there is no time-stepping
 error. This is the engine behind Table 1, Figure 1d and Figure 2.
 
+The on-off state machine itself lives in
+:class:`repro.core.lifecycle.JobLifecycle`, shared with the fluid and
+engine tiers; this module drives it from scheduled events and adds the
+network: routed flows, the share policy, and the fluid rate allocator.
+
 The sliding effect the paper describes needs no special code: with a
 weighted (unfair) policy, the favoured job's communication phase ends
 earlier, its next compute phase starts earlier, and after a few iterations
@@ -16,12 +21,13 @@ the jobs' phases interleave — exactly the Figure 2b dynamics.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.lifecycle import Gate, JobLifecycle, JobState
+from ..core.timeline import IterationSample, JobTimeline
 from ..errors import ConfigError, SimulationError, WorkloadError
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
@@ -45,43 +51,28 @@ if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
 #: Residual bytes below which a communication phase counts as finished.
 _BYTES_EPSILON = 1.0
 
-#: A gate delays the start of a communication phase: called with
-#: ``(job_id, now)`` it returns the earliest permitted start time (>= now).
-Gate = Callable[[str, float], float]
+#: Backwards-compatible name for the canonical per-iteration record.
+IterationRecord = IterationSample
 
-
-class JobState(enum.Enum):
-    """Lifecycle of a job within one iteration."""
-
-    IDLE = "idle"
-    COMPUTE = "compute"
-    WAITING = "waiting"  # compute done, gated before communication
-    COMM = "comm"
-    DONE = "done"
-
-
-@dataclass
-class IterationRecord:
-    """Timing of one completed training iteration."""
-
-    index: int
-    start: float
-    comm_start: float
-    end: float
-
-    @property
-    def duration(self) -> float:
-        """Iteration time, seconds."""
-        return self.end - self.start
-
-    @property
-    def comm_duration(self) -> float:
-        """Communication-phase duration (including queueing), seconds."""
-        return self.end - self.comm_start
+__all__ = [
+    "Gate",
+    "IterationRecord",
+    "IterationSample",
+    "JobRun",
+    "JobState",
+    "JobTimeline",
+    "PhaseLevelSimulator",
+    "SimulationResult",
+]
 
 
 class JobRun:
-    """Runtime state of one job inside the simulator."""
+    """Runtime state of one job inside the simulator.
+
+    Thin shell around the shared :class:`JobLifecycle`: it adds what is
+    network-specific — the routed flows and the rate trace — and
+    delegates every lifecycle question to the state machine.
+    """
 
     def __init__(
         self,
@@ -93,63 +84,105 @@ class JobRun:
         rng: np.random.Generator,
     ) -> None:
         self.spec = spec
+        #: Plain attribute (not a delegating property): it is read in
+        #: the simulator's per-event telemetry paths.
+        self.job_id = spec.job_id
         #: The job's flows. Classic jobs have one; ring-allreduce jobs
         #: have one per hop, moving in lockstep (synchronous collective).
         self.flows = flows
-        self.n_iterations = n_iterations
-        self.start_offset = start_offset
-        self.gate = gate
-        self.state = JobState.IDLE
-        self.iterations_done = 0
-        self.comm_sent = 0.0
-        self.iteration_start = 0.0
-        self.comm_start = 0.0
-        self.segment_index = 0
-        self.compute_factor = 1.0
-        self.records: List[IterationRecord] = []
+        #: The primary flow (handed to policy hooks); plain attribute
+        #: for the same hot-path reason as ``job_id``. The engine
+        #: backend runs flowless jobs, hence the ``None`` fallback.
+        self.flow = flows[0] if flows else None
+        self.lifecycle = JobLifecycle.for_spec(
+            spec,
+            n_iterations=n_iterations,
+            start_offset=start_offset,
+            gate=gate,
+            rng=rng,
+        )
         self.rate_trace = StepFunction(0.0, name=f"rate:{spec.job_id}")
-        self._rng = rng
         self._finish_event = None
-        self._segments = spec.effective_segments()
 
     @property
-    def flow(self) -> Flow:
-        """The job's primary flow (handed to policy hooks)."""
-        return self.flows[0]
+    def timeline(self) -> JobTimeline:
+        """The job's canonical iteration record."""
+        return self.lifecycle.timeline
 
     @property
-    def job_id(self) -> str:
-        """The job's identifier."""
-        return self.spec.job_id
+    def records(self) -> List[IterationSample]:
+        """Completed iterations (the timeline's samples)."""
+        return self.lifecycle.timeline.samples
+
+    @property
+    def state(self) -> JobState:
+        """Current lifecycle state."""
+        return self.lifecycle.state
+
+    @state.setter
+    def state(self, value: JobState) -> None:
+        self.lifecycle.state = value
 
     @property
     def done(self) -> bool:
         """Whether all requested iterations completed."""
-        return self.state is JobState.DONE
+        return self.lifecycle.done
 
-    def iteration_times(self) -> np.ndarray:
-        """Durations of completed iterations, seconds."""
-        return np.asarray([r.duration for r in self.records], dtype=float)
+    @property
+    def iterations_done(self) -> int:
+        """Completed iterations."""
+        return self.lifecycle.iterations_done
 
-    def sample_compute_factor(self) -> float:
-        """Per-iteration multiplicative compute jitter (1.0 when none)."""
-        if self.spec.compute_jitter <= 0:
-            return 1.0
-        noise = self._rng.normal(0.0, self.spec.compute_jitter)
-        return max(1.0 + noise, 0.0)
+    @property
+    def n_iterations(self) -> int:
+        """Requested iteration count."""
+        return self.lifecycle.n_iterations
+
+    @property
+    def start_offset(self) -> float:
+        """Simulation time of the first compute phase."""
+        return self.lifecycle.start_offset
+
+    @property
+    def gate(self) -> Optional[Gate]:
+        """The job's admission gate, if any."""
+        return self.lifecycle.gate
+
+    @property
+    def segment_index(self) -> int:
+        """Index of the current sub-phase within the iteration."""
+        return self.lifecycle.segment_index
 
     @property
     def n_segments(self) -> int:
         """Sub-phases per iteration (1 for the classic on-off job)."""
-        return len(self._segments)
+        return self.lifecycle.n_segments
+
+    @property
+    def comm_sent(self) -> float:
+        """Bytes credited toward the current communication segment."""
+        return self.lifecycle.comm_sent
+
+    @property
+    def compute_factor(self) -> float:
+        """This iteration's multiplicative compute jitter."""
+        return self.lifecycle.compute_factor
+
+    def iteration_times(self, skip: int = 0) -> np.ndarray:
+        """Durations of completed iterations, seconds."""
+        return self.lifecycle.timeline.iteration_times(skip)
+
+    def sample_compute_factor(self) -> float:
+        """Per-iteration multiplicative compute jitter (1.0 when none)."""
+        return self.lifecycle.sample_compute_factor()
 
     def segment_compute_time(self) -> float:
         """Jittered compute time of the current segment."""
-        return self._segments[self.segment_index][0] * self.compute_factor
+        return self.lifecycle.segment_compute_time()
 
     def segment_comm_bytes(self) -> float:
         """Communication bytes of the current segment."""
-        return self._segments[self.segment_index][1]
+        return self.lifecycle.segment_comm_bytes()
 
 
 @dataclass
@@ -166,23 +199,25 @@ class SimulationResult:
     link_loads: Dict[str, StepFunction] = field(default_factory=dict)
     duration: float = 0.0
 
+    def timeline(self, job_id: str) -> JobTimeline:
+        """One job's canonical timeline."""
+        return self.jobs[job_id].timeline
+
+    def timelines(self) -> Dict[str, JobTimeline]:
+        """Every job's timeline, keyed by job id."""
+        return {job_id: run.timeline for job_id, run in self.jobs.items()}
+
     def iteration_times(self, job_id: str) -> np.ndarray:
         """Iteration durations for one job, seconds."""
-        return self.jobs[job_id].iteration_times()
+        return self.timeline(job_id).iteration_times()
 
     def mean_iteration_time(self, job_id: str, skip: int = 0) -> float:
         """Mean iteration time, optionally skipping warm-up iterations."""
-        times = self.iteration_times(job_id)[skip:]
-        if times.size == 0:
-            raise SimulationError(f"job {job_id} has no iterations after skip")
-        return float(times.mean())
+        return self.timeline(job_id).mean_iteration_time(skip)
 
     def median_iteration_time(self, job_id: str, skip: int = 0) -> float:
         """Median iteration time, optionally skipping warm-up iterations."""
-        times = self.iteration_times(job_id)[skip:]
-        if times.size == 0:
-            raise SimulationError(f"job {job_id} has no iterations after skip")
-        return float(np.median(times))
+        return self.timeline(job_id).median_iteration_time(skip)
 
 
 class PhaseLevelSimulator:
@@ -350,57 +385,49 @@ class PhaseLevelSimulator:
     # ------------------------------------------------------------------
 
     def _begin_iteration(self, run: JobRun) -> None:
-        run.state = JobState.COMPUTE
-        run.iteration_start = self._sim.now
-        run.segment_index = 0
-        run.compute_factor = run.sample_compute_factor()
+        lifecycle = run.lifecycle
+        compute_time = lifecycle.begin_iteration(self._sim.now)
         if self.telemetry.enabled:
             self.telemetry.event(
                 KIND_PHASE,
                 t=self._sim.now,
                 job=run.job_id,
                 state=JobState.COMPUTE.value,
-                iteration=run.iterations_done,
+                iteration=len(lifecycle.timeline),
             )
-        self._sim.schedule(
-            run.segment_compute_time(), self._finish_compute, run
-        )
+        self._sim.schedule(compute_time, self._finish_compute, run)
 
     def _finish_compute(self, run: JobRun) -> None:
         now = self._sim.now
-        if run.gate is not None:
-            allowed = run.gate(run.job_id, now)
-            if allowed < now - 1e-12:
-                raise SimulationError(
-                    f"gate for {run.job_id} returned a past time"
+        lifecycle = run.lifecycle
+        if lifecycle.gate is None:  # ungated fast path
+            self._begin_comm(run)
+            return
+        allowed = lifecycle.release_time(now)
+        if allowed > now:
+            lifecycle.enter_waiting()
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    KIND_PHASE,
+                    t=now,
+                    job=run.job_id,
+                    state=JobState.WAITING.value,
+                    until=allowed,
                 )
-            if allowed > now:
-                run.state = JobState.WAITING
-                if self.telemetry.enabled:
-                    self.telemetry.event(
-                        KIND_PHASE,
-                        t=now,
-                        job=run.job_id,
-                        state=JobState.WAITING.value,
-                        until=allowed,
-                    )
-                self._sim.schedule_at(allowed, self._begin_comm, run)
-                return
+            self._sim.schedule_at(allowed, self._begin_comm, run)
+            return
         self._begin_comm(run)
 
     def _begin_comm(self, run: JobRun) -> None:
-        run.state = JobState.COMM
-        if run.segment_index == 0:
-            run.comm_start = self._sim.now
+        run.lifecycle.begin_comm(self._sim.now)
         if self.telemetry.enabled:
             self.telemetry.event(
                 KIND_PHASE,
                 t=self._sim.now,
                 job=run.job_id,
                 state=JobState.COMM.value,
-                segment=run.segment_index,
+                segment=run.lifecycle.segment_index,
             )
-        run.comm_sent = 0.0
         for flow in run.flows:
             flow.progress = 0.0
         self.policy.on_phase_start(run.flow)
@@ -411,9 +438,9 @@ class PhaseLevelSimulator:
         now = self._sim.now
         run._finish_event = None
         self._advance_progress(now)
+        lifecycle = run.lifecycle
         # Guard against spurious events racing a reallocation.
-        remaining = run.segment_comm_bytes() - run.comm_sent
-        if remaining > _BYTES_EPSILON:
+        if lifecycle.comm_budget - lifecycle.comm_sent > _BYTES_EPSILON:
             self._reallocate()
             return
         self.policy.on_phase_end(run.flow)
@@ -426,40 +453,28 @@ class PhaseLevelSimulator:
                 t=now,
                 job=run.job_id,
                 flow=run.flow.flow_id,
-                segment=run.segment_index,
-                bytes=run.segment_comm_bytes(),
+                segment=lifecycle.segment_index,
+                bytes=lifecycle.comm_budget,
             )
-        if run.segment_index + 1 < run.n_segments:
+        if lifecycle.has_more_segments:
             # More sub-phases this iteration (layer-wise allreduce).
-            run.segment_index += 1
-            run.state = JobState.COMPUTE
-            self._sim.schedule(
-                run.segment_compute_time(), self._finish_compute, run
-            )
+            compute_time = lifecycle.advance_segment(now)
+            self._sim.schedule(compute_time, self._finish_compute, run)
             self._reallocate()
             return
-        record = IterationRecord(
-            index=run.iterations_done,
-            start=run.iteration_start,
-            comm_start=run.comm_start,
-            end=now,
-        )
-        run.records.append(record)
+        sample = lifecycle.close_iteration(now)
         if self.telemetry.enabled:
             self._iteration_counter.inc()
-            self._iteration_histogram.observe(record.duration)
+            self._iteration_histogram.observe(sample.duration)
             self.telemetry.event(
                 KIND_ITERATION,
                 t=now,
                 job=run.job_id,
-                index=record.index,
-                duration=record.duration,
-                comm_duration=record.comm_duration,
+                index=sample.index,
+                duration=sample.duration,
+                comm_duration=sample.comm_duration,
             )
-        run.iterations_done += 1
-        if run.iterations_done >= run.n_iterations:
-            run.state = JobState.DONE
-        else:
+        if lifecycle.state is not JobState.DONE:
             self._begin_iteration(run)
         self._reallocate()
 
@@ -471,8 +486,11 @@ class PhaseLevelSimulator:
         """Credit bytes sent since the last rate change to each flow."""
         dt = now - self._last_progress_update
         if dt > 0:
+            rates = self._rates
             for run in self._active:
-                run.comm_sent += self._rates.get(run, 0.0) * dt
+                # Inlined lifecycle.credit(): this runs once per active
+                # job per rate change — the simulator's hottest loop.
+                run.lifecycle.comm_sent += rates.get(run, 0.0) * dt
         self._last_progress_update = now
 
     def _reallocate(self) -> None:
@@ -481,8 +499,9 @@ class PhaseLevelSimulator:
 
         flows: List[Flow] = []
         for run in self._active:
+            lifecycle = run.lifecycle
             progress = min(
-                run.comm_sent / run.segment_comm_bytes(), 1.0
+                lifecycle.comm_sent / lifecycle.comm_budget, 1.0
             )
             for flow in run.flows:
                 flow.progress = progress
@@ -525,7 +544,8 @@ class PhaseLevelSimulator:
             if run._finish_event is not None:
                 self._sim.cancel(run._finish_event)
                 run._finish_event = None
-            remaining = run.segment_comm_bytes() - run.comm_sent
+            lifecycle = run.lifecycle
+            remaining = lifecycle.comm_budget - lifecycle.comm_sent
             if remaining <= _BYTES_EPSILON:
                 run._finish_event = self._sim.schedule(
                     0.0, self._finish_comm, run

@@ -23,6 +23,11 @@ import networkx as nx
 from ..errors import TopologyError
 from ..units import gbps
 
+#: Name of the shared bottleneck link in generated dumbbells — the
+#: paper's ``L1`` (Figure 1). The single home for this constant; the
+#: runner backends and the experiment helpers both import it.
+BOTTLENECK = "L1"
+
 
 class NodeKind(enum.Enum):
     """Role of a node in the cluster fabric."""
@@ -197,7 +202,7 @@ class Topology:
         hosts_per_side: int = 2,
         host_capacity: float = gbps(50),
         bottleneck_capacity: Optional[float] = None,
-        bottleneck_name: str = "L1",
+        bottleneck_name: str = BOTTLENECK,
     ) -> "Topology":
         """The Figure 1 testbed shape.
 

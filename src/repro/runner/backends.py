@@ -26,14 +26,12 @@ from typing import Dict, List, Optional, Protocol
 
 from ..errors import ConfigError, SimulationError
 from ..net.phasesim import (
-    IterationRecord,
     JobRun,
-    JobState,
     PhaseLevelSimulator,
     SimulationResult,
 )
 from ..net.routing import Router
-from ..net.topology import Topology
+from ..net.topology import BOTTLENECK, Topology
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import StepFunction
@@ -46,9 +44,9 @@ from .spec import (
     safe_content_hash,
 )
 
-#: Name of the shared bottleneck link in generated dumbbells (matches
-#: ``repro.experiments.common.BOTTLENECK``).
-BOTTLENECK_LINK = "L1"
+#: Name of the shared bottleneck link in generated dumbbells — the
+#: canonical constant lives in :mod:`repro.net.topology`.
+BOTTLENECK_LINK = BOTTLENECK
 
 
 class Backend(Protocol):
@@ -233,17 +231,8 @@ class FluidBackend:
             trace = sim.run(spec.duration)
             scenarios[scenario.name] = FluidScenarioResult(
                 trace=trace,
-                iteration_starts={
-                    name: list(job.iteration_starts)
-                    for name, job in jobs.items()
-                },
-                iteration_ends={
-                    name: list(job.iteration_ends)
-                    for name, job in jobs.items()
-                },
-                comm_starts={
-                    name: list(job.comm_starts)
-                    for name, job in jobs.items()
+                timelines={
+                    name: job.timeline for name, job in jobs.items()
                 },
             )
         return RunResult(
@@ -261,11 +250,10 @@ class FluidBackend:
 class _EngineJob:
     """Book-keeping for one job inside the engine backend."""
 
-    __slots__ = ("run", "remaining", "active", "weight")
+    __slots__ = ("run", "active", "weight")
 
     def __init__(self, run: JobRun, weight: float) -> None:
         self.run = run
-        self.remaining = 0.0
         self.active = False
         self.weight = weight
 
@@ -327,7 +315,7 @@ class EngineBackend:
             dt = sim.now - last_update[0]
             if dt > 0:
                 for job in active:
-                    job.remaining -= rates.get(id(job), 0.0) * dt
+                    job.run.lifecycle.credit(rates.get(id(job), 0.0) * dt)
             last_update[0] = sim.now
 
         def reallocate() -> None:
@@ -347,27 +335,18 @@ class EngineBackend:
                 if event is not None:
                     sim.cancel(event)
                 if rate > 0:
+                    remaining = job.run.lifecycle.remaining_bytes
                     finish_events[id(job)] = sim.schedule(
-                        max(job.remaining, 0.0) / rate, finish_comm, job
+                        max(remaining, 0.0) / rate, finish_comm, job
                     )
             load.set(sim.now, total_rate)
 
         def begin_iteration(job: _EngineJob) -> None:
-            run = job.run
-            run.state = JobState.COMPUTE
-            run.iteration_start = sim.now
-            run.compute_factor = run.sample_compute_factor()
-            sim.schedule(
-                run.spec.compute_time * run.compute_factor,
-                begin_comm,
-                job,
-            )
+            compute_time = job.run.lifecycle.begin_iteration(sim.now)
+            sim.schedule(compute_time, begin_comm, job)
 
         def begin_comm(job: _EngineJob) -> None:
-            run = job.run
-            run.state = JobState.COMM
-            run.comm_start = sim.now
-            job.remaining = run.spec.comm_bytes
+            job.run.lifecycle.begin_comm(sim.now)
             job.active = True
             active.append(job)
             reallocate()
@@ -380,19 +359,14 @@ class EngineBackend:
             job.active = False
             rates.pop(id(job), None)
             run.rate_trace.set(sim.now, 0.0)
-            run.records.append(
-                IterationRecord(
-                    index=run.iterations_done,
-                    start=run.iteration_start,
-                    comm_start=run.comm_start,
-                    end=sim.now,
-                )
-            )
-            run.iterations_done += 1
-            if run.iterations_done >= run.n_iterations:
-                run.state = JobState.DONE
+            if run.lifecycle.has_more_segments:
+                # Layer-wise allreduce: next sub-phase's compute gap.
+                compute_time = run.lifecycle.advance_segment(sim.now)
+                sim.schedule(compute_time, begin_comm, job)
             else:
-                begin_iteration(job)
+                run.lifecycle.close_iteration(sim.now)
+                if not run.done:
+                    begin_iteration(job)
             reallocate()
 
         for job in jobs:
@@ -429,6 +403,7 @@ class ClusterBackend:
     name = "cluster"
 
     def execute(self, spec: RunSpec) -> RunResult:
+        from .. import io
         from ..scheduler.cluster import ClusterState
         from ..scheduler.simulation import ClusterSimulation
 
@@ -470,6 +445,10 @@ class ClusterBackend:
                 "iteration_ms": dict(report.iteration_ms),
                 "solo_ms": dict(report.solo_ms),
                 "slowdown": dict(report.slowdown),
+                "timelines": {
+                    job_id: io.timeline_to_dict(timeline)
+                    for job_id, timeline in report.timelines.items()
+                },
             },
         )
 

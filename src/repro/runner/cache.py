@@ -23,7 +23,9 @@ from ..errors import ConfigError
 from .spec import RunResult, RunSpec
 
 #: Schema version of cache entries; bumped when the layout changes.
-CACHE_VERSION = 1
+#: v2: results carry canonical job timelines instead of per-backend
+#: iteration lists; older entries self-heal as misses.
+CACHE_VERSION = 2
 
 
 @dataclass

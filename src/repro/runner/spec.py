@@ -19,12 +19,14 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..core.lifecycle import Gate
+from ..core.timeline import JobTimeline
 from ..errors import ConfigError
-from ..net.phasesim import Gate, SimulationResult
+from ..net.phasesim import SimulationResult
 from ..net.topology import Topology
 from ..sim.rng import _stable_hash
 from ..workloads.job import JobSpec
@@ -194,24 +196,45 @@ class FluidScenarioResult:
     """One fluid-backend scenario's outcome.
 
     Bundles the sampled rate/queue traces with the on-off jobs'
-    iteration timeline (empty lists for plain long-lived senders).
+    canonical timelines (plain long-lived senders have none).
     """
 
     trace: "DcqcnResult"
-    iteration_starts: Dict[str, List[float]] = field(default_factory=dict)
-    iteration_ends: Dict[str, List[float]] = field(default_factory=dict)
-    comm_starts: Dict[str, List[float]] = field(default_factory=dict)
+    timelines: Dict[str, JobTimeline] = field(default_factory=dict)
 
-    def iteration_times(self, name: str) -> np.ndarray:
-        """Durations of ``name``'s completed iterations, seconds."""
-        n = len(self.iteration_ends.get(name, []))
-        starts = np.asarray(self.iteration_starts.get(name, [])[:n])
-        ends = np.asarray(self.iteration_ends.get(name, []))
-        return ends - starts
+    def timeline(self, name: str) -> JobTimeline:
+        """One on-off job's canonical timeline."""
+        try:
+            return self.timelines[name]
+        except KeyError:
+            raise ConfigError(
+                f"scenario has no timeline for {name!r} "
+                f"(has {sorted(self.timelines)})"
+            ) from None
+
+    def iteration_times(self, name: str, skip: int = 0) -> np.ndarray:
+        """Durations of ``name``'s completed iterations, seconds.
+
+        Unknown names yield an empty array (a plain long-lived sender
+        completes no iterations).
+        """
+        timeline = self.timelines.get(name)
+        if timeline is None:
+            return np.asarray([], dtype=float)
+        return timeline.iteration_times(skip)
 
     def iterations(self, name: str) -> int:
         """Completed iterations of ``name``."""
-        return len(self.iteration_ends.get(name, []))
+        timeline = self.timelines.get(name)
+        return 0 if timeline is None else len(timeline)
+
+    def mean_iteration_time(self, name: str, skip: int = 0) -> float:
+        """Mean iteration time of one on-off job, seconds."""
+        return self.timeline(name).mean_iteration_time(skip)
+
+    def median_iteration_time(self, name: str, skip: int = 0) -> float:
+        """Median iteration time of one on-off job, seconds."""
+        return self.timeline(name).median_iteration_time(skip)
 
 
 @dataclass(frozen=True)
@@ -239,3 +262,35 @@ class RunResult:
                 f"run result has no scenario {name!r} "
                 f"(has {sorted(self.fluid)})"
             ) from None
+
+    def timelines(
+        self, scenario: Optional[str] = None
+    ) -> Dict[str, JobTimeline]:
+        """Canonical per-job timelines, whatever the backend.
+
+        Phase/engine results read them from the simulation; fluid
+        results need ``scenario`` unless the run had exactly one; data
+        backends must have serialized a ``"timelines"`` entry.
+        """
+        if self.phase is not None:
+            return self.phase.timelines()
+        if self.fluid:
+            if scenario is None:
+                if len(self.fluid) != 1:
+                    raise ConfigError(
+                        "run has several scenarios; pass scenario= "
+                        f"(one of {sorted(self.fluid)})"
+                    )
+                scenario = next(iter(self.fluid))
+            return dict(self.scenario(scenario).timelines)
+        payload = self.data.get("timelines")
+        if payload is not None:
+            from .. import io
+
+            return {
+                job_id: io.timeline_from_dict(document)
+                for job_id, document in payload.items()
+            }
+        raise ConfigError(
+            f"{self.backend!r} run result carries no timelines"
+        )

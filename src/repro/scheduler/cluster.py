@@ -169,7 +169,9 @@ class ClusterState:
     ) -> Dict[str, List[PlacedJob]]:
         """Placed jobs crossing each of the given links (by link name)."""
         wanted = {link.name for link in links}
-        result: Dict[str, List[PlacedJob]] = {name: [] for name in wanted}
+        result: Dict[str, List[PlacedJob]] = {
+            name: [] for name in sorted(wanted)
+        }
         for job in self._jobs.values():
             for link in job.links:
                 if link.name in wanted:

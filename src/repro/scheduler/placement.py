@@ -81,7 +81,9 @@ class RandomPlacement(PlacementPolicy):
         )
         hosts = [slots[i] for i in picked]
         # Rack-order the hosts so the aggregate flow is well-defined.
-        rack_of = {h: cluster.topology.rack_of(h) or "" for h in set(hosts)}
+        rack_of = {
+            h: cluster.topology.rack_of(h) or "" for h in sorted(set(hosts))
+        }
         hosts.sort(key=lambda h: (rack_of[h], h))
         return hosts
 

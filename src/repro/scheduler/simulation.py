@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..cc.base import SharePolicy
+from ..core.timeline import JobTimeline
 from ..errors import SimulationError
 from ..net.phasesim import PhaseLevelSimulator
 from ..units import gbps, to_milliseconds
@@ -30,12 +31,16 @@ class ClusterReport:
         solo_ms: Solo (dedicated-network) iteration time per job.
         slowdown: ``iteration_ms / solo_ms`` per job.
         policy_name: The share policy that produced this run.
+        timelines: Canonical iteration timelines of the simulated jobs
+            (single-host jobs never enter the network simulator and
+            therefore have none).
     """
 
     iteration_ms: Dict[str, float] = field(default_factory=dict)
     solo_ms: Dict[str, float] = field(default_factory=dict)
     slowdown: Dict[str, float] = field(default_factory=dict)
     policy_name: str = ""
+    timelines: Dict[str, JobTimeline] = field(default_factory=dict)
 
     @property
     def mean_slowdown(self) -> float:
@@ -149,8 +154,10 @@ class ClusterSimulation:
                 mean_s = solo_s
             else:
                 assert result is not None
-                mean_s = result.mean_iteration_time(
-                    job.job_id, skip=warmup_iterations
+                timeline = result.timeline(job.job_id)
+                report.timelines[job.job_id] = timeline
+                mean_s = timeline.mean_iteration_time(
+                    skip=warmup_iterations
                 )
             report.iteration_ms[job.job_id] = to_milliseconds(mean_s)
             report.slowdown[job.job_id] = mean_s / solo_s

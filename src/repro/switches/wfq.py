@@ -44,9 +44,12 @@ class WeightedFairScheduler:
                 raise ConfigError(f"flow {flow_id}: demand must be >= 0")
 
         rates = {flow_id: 0.0 for flow_id in demands}
-        unfrozen = {
+        # Kept in demand-dict insertion order: the fill loop sums float
+        # weights and breaks theta ties by first occurrence, so the
+        # container must iterate deterministically (DET003).
+        unfrozen = [
             flow_id for flow_id, (_, demand) in demands.items() if demand > 0
-        }
+        ]
         residual = self.capacity
         while unfrozen and residual > 0:
             total_weight = sum(demands[f][0] for f in unfrozen)
@@ -62,7 +65,7 @@ class WeightedFairScheduler:
                 rates[flow_id] += demands[flow_id][0] * step
             residual -= total_weight * step
             if step == theta_cap and theta_cap <= theta:
-                unfrozen.discard(capped)
+                unfrozen.remove(capped)
             if step == theta and theta <= theta_cap:
                 break
         # Clamp away float residue (matters for denormal demands).

@@ -123,7 +123,7 @@ class TestOnOffDcqcnJob:
     def test_iterations_complete(self):
         jobs = self._run_pair(125e-6, 125e-6)
         for job in jobs.values():
-            assert len(job.iteration_ends) >= 3
+            assert len(job.timeline) >= 3
 
     def test_iteration_time_bounded_below_by_solo(self):
         jobs = self._run_pair(125e-6, 125e-6)
@@ -144,7 +144,7 @@ class TestOnOffDcqcnJob:
     def test_comm_starts_after_compute(self):
         jobs = self._run_pair(125e-6, 125e-6, duration=0.5)
         job = jobs["J1"]
-        assert job.comm_starts[0] == pytest.approx(0.1, abs=1e-3)
+        assert job.timeline.samples[0].comm_start == pytest.approx(0.1, abs=1e-3)
 
     def test_bad_args_rejected(self):
         with pytest.raises(ConfigError):

@@ -12,6 +12,7 @@ import pickle
 import pytest
 
 from repro import io
+from repro.core.timeline import IterationSample, JobTimeline
 from repro.errors import ConfigError
 from repro.experiments import sweep
 from repro.experiments.common import phase_spec
@@ -24,6 +25,8 @@ from repro.runner import (
     ResultCache,
     RunSpec,
     RunnerConfig,
+    ScenarioSpec,
+    SenderSpec,
     backend_names,
     current_config,
     derive_seed,
@@ -177,6 +180,81 @@ class TestEngineBackend:
                     phase.mean_iteration_time(job.job_id), rel=1e-12
                 )
             )
+
+
+class TestTimelineSchema:
+    """Every backend's RunResult carries the one canonical timeline."""
+
+    def fluid_spec(self):
+        return RunSpec(
+            backend="fluid",
+            seed=0,
+            capacity=5e9,
+            duration=0.03,
+            options=(("dt", 20e-6),),
+            scenarios=(
+                ScenarioSpec(
+                    "only",
+                    (
+                        SenderSpec(
+                            "vgg19-1",
+                            125e-6,
+                            compute_time=0.002,
+                            comm_bytes=5e9 * 0.001,
+                        ),
+                    ),
+                ),
+            ),
+        )
+
+    def check_schema(self, timelines):
+        assert timelines
+        for job_id, timeline in timelines.items():
+            assert isinstance(timeline, JobTimeline)
+            assert timeline.job_id == job_id
+            assert len(timeline) > 0
+            for position, observed in enumerate(timeline):
+                assert isinstance(observed, IterationSample)
+                assert observed.index == position
+                assert (
+                    observed.start <= observed.comm_start <= observed.end
+                )
+            # The codec preserves the schema bit-for-bit.
+            rebuilt = io.timeline_from_dict(io.timeline_to_dict(timeline))
+            assert rebuilt.to_rows() == timeline.to_rows()
+
+    def test_phase_fluid_engine_share_schema(self):
+        spec = small_phase_specs(n_iterations=5)[0]
+        results = {
+            "phase": run_one(spec, cache=False),
+            "engine": run_one(
+                spec.replace(backend="engine"), cache=False
+            ),
+            "fluid": run_one(self.fluid_spec(), cache=False),
+        }
+        for result in results.values():
+            self.check_schema(result.timelines())
+
+    def test_phase_and_engine_agree_structurally(self):
+        spec = small_phase_specs(n_iterations=5)[0]
+        phase = run_one(spec, cache=False).timelines()
+        engine = run_one(
+            spec.replace(backend="engine"), cache=False
+        ).timelines()
+        assert sorted(phase) == sorted(engine)
+        for job_id in phase:
+            assert len(phase[job_id]) == len(engine[job_id])
+
+    def test_timelines_requires_scenario_when_ambiguous(self):
+        spec = self.fluid_spec()
+        two = spec.replace(
+            scenarios=spec.scenarios
+            + (ScenarioSpec("again", spec.scenarios[0].senders),)
+        )
+        result = run_one(two, cache=False)
+        with pytest.raises(ConfigError, match="several scenarios"):
+            result.timelines()
+        self.check_schema(result.timelines(scenario="again"))
 
 
 class TestRunMany:
