@@ -20,6 +20,7 @@ from .weighted import StaticWeighted
 from .adaptive import AdaptiveUnfair
 from .priority import PrioritySharing
 from .dcqcn import DcqcnParams, DcqcnSender, DcqcnFluidSimulator, calibrate_timer_weights
+from .sender_bank import SenderBank
 from .aimd import AimdParams, AimdFluidSimulator
 from .factory import make_policy
 
@@ -33,6 +34,7 @@ __all__ = [
     "DcqcnSender",
     "DcqcnFluidSimulator",
     "calibrate_timer_weights",
+    "SenderBank",
     "AimdParams",
     "AimdFluidSimulator",
     "make_policy",

@@ -13,12 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..core.lifecycle import JobLifecycle, OnOffSource
 from ..core.timeline import JobTimeline
 from ..errors import ConfigError, SimulationError
 from ..sim.trace import TimeSeries
 from ..switches.queues import FluidQueue
 from ..units import gbps, kib, mbps
+from .sender_bank import activation_tick, fold_traj, sample_ticks
 
 
 @dataclass(frozen=True)
@@ -183,15 +186,22 @@ class AimdFluidSimulator:
         buffer_bytes: float = kib(512),
         dt: float = 10e-6,
         sample_interval: float = 250e-6,
+        engine: str = "vector",
     ) -> None:
         if dt <= 0 or sample_interval < dt:
             raise ConfigError("need dt > 0 and sample_interval >= dt")
+        if engine not in ("scalar", "vector"):
+            raise ConfigError(
+                f"engine must be 'scalar' or 'vector', got {engine!r}"
+            )
+        self.engine = engine
         self.capacity = capacity
         self.queue = FluidQueue(capacity, max_occupancy=buffer_bytes)
         self.dt = dt
         self.sample_interval = sample_interval
         self._senders: List[_AimdSender] = []
         self._jobs: List[OnOffAimdJob] = []
+        self._chunk = 256
 
     def add_sender(self, name: str, params: Optional[AimdParams] = None) -> None:
         """Register a long-lived AIMD sender."""
@@ -214,34 +224,186 @@ class AimdFluidSimulator:
         return job
 
     def run(self, duration: float) -> AimdResult:
-        """Simulate ``duration`` seconds; plain senders always backlogged."""
+        """Simulate ``duration`` seconds; plain senders always backlogged.
+
+        With ``engine="vector"`` (the default) loss-free stretches are
+        advanced in one exact batch: AIMD has no randomness, so every
+        rate ramp, byte countdown and queue fold between events (burst
+        activation, burst completion, a drop) is a deterministic
+        sequential fold that ``np.cumsum`` reproduces bit-for-bit. The
+        dt-by-dt reference loop stays behind ``engine="scalar"``; both
+        produce identical traces and timelines.
+        """
         if not self._senders and not self._jobs:
             raise SimulationError("add at least one sender before run()")
         sources = self._senders + self._jobs
-        result = AimdResult(
-            rate_series={s.name: TimeSeries(s.name) for s in sources},
-            duration=duration,
-        )
         steps = int(round(duration / self.dt))
         samples_every = max(1, int(round(self.sample_interval / self.dt)))
-        now = 0.0
-        for step_index in range(steps):
-            arrival = sum(s.rate for s in self._senders)
-            for job in self._jobs:
-                arrival += job.step(now, self.dt, 0.0) / self.dt
-            dropped_before = self.queue.dropped_bytes
-            self.queue.step(arrival, self.dt)
-            if self.queue.dropped_bytes > dropped_before:
-                # Loss is congestion feedback: every sender backs off
-                # (synchronized loss — the worst case for fairness churn).
-                for source in sources:
-                    source.cut()
-            else:
-                for source in sources:
-                    source.grow(self.dt)
-            now += self.dt
-            if step_index % samples_every == 0:
-                for source in sources:
-                    result.rate_series[source.name].record(now, source.rate)
+        rows_t: List[float] = []
+        rows_v: List[List[float]] = []
+        if self.engine == "vector":
+            i = 0
+            while i < steps:
+                advanced = self._try_span(
+                    i, steps, samples_every, rows_t, rows_v, sources
+                )
+                if advanced:
+                    i += advanced
+                    continue
+                self._step_once(i, sources)
+                i += 1
+                if i % samples_every == 0:
+                    rows_t.append(i * self.dt)
+                    rows_v.append([source.rate for source in sources])
+        else:
+            for step_index in range(steps):
+                self._step_once(step_index, sources)
+                if (step_index + 1) % samples_every == 0:
+                    # Samples land on the sample_interval grid: the
+                    # state after tick k covers time (k+1) * dt.
+                    rows_t.append((step_index + 1) * self.dt)
+                    rows_v.append([source.rate for source in sources])
+        result = AimdResult(duration=duration)
+        for column, source in enumerate(sources):
+            result.rate_series[source.name] = TimeSeries.from_arrays(
+                source.name, rows_t, [row[column] for row in rows_v]
+            )
         result.timelines = {job.name: job.timeline for job in self._jobs}
         return result
+
+    def _step_once(self, step_index: int, sources: List[object]) -> None:
+        """One exact reference tick shared by both engines."""
+        now = step_index * self.dt
+        arrival = sum(s.rate for s in self._senders)
+        for job in self._jobs:
+            arrival += job.step(now, self.dt, 0.0) / self.dt
+        dropped_before = self.queue.dropped_bytes
+        self.queue.step(arrival, self.dt)
+        if self.queue.dropped_bytes > dropped_before:
+            # Loss is congestion feedback: every sender backs off
+            # (synchronized loss — the worst case for fairness churn).
+            for source in sources:
+                source.cut()
+        else:
+            for source in sources:
+                source.grow(self.dt)
+
+    def _try_span(
+        self,
+        i: int,
+        steps: int,
+        samples_every: int,
+        rows_t: List[float],
+        rows_v: List[List[float]],
+        sources: List[object],
+    ) -> int:
+        """Advance as many loss-free ticks as possible in one batch.
+
+        Returns the number of ticks committed (0 = fall back to one
+        scalar tick). Within the committed stretch every sender only
+        grows, so the rate trajectories are sequential folds clamped at
+        the line rate; arrivals are therefore nondecreasing, which
+        bounds the queue to a single clamp-at-empty episode and makes
+        the first overflow tick of the unclamped fold the first real
+        drop. The span ends strictly before the earliest burst
+        activation, burst completion or drop, which the per-tick
+        reference path then replays exactly.
+        """
+        dt = self.dt
+        queue = self.queue
+        H = min(steps - i, self._chunk)
+        for job in self._jobs:
+            if job._sender is None and not job.lifecycle.done:
+                gap = activation_tick(job._deadline, dt, lo=i) - i
+                if gap < H:
+                    H = gap
+        if H < 8:
+            return 0
+        # Exact rate trajectories: trajs[k][m] is source k's rate at the
+        # start of tick i+m (idle/done jobs carry None and send 0).
+        trajs: List[Optional[np.ndarray]] = []
+        job_folds: List[Optional[tuple]] = []
+        arrival = np.zeros(H)
+        e = H
+        for sender in self._senders:
+            params = sender.params
+            if sender.rate > params.line_rate:
+                return 0
+            traj = np.minimum(
+                fold_traj(sender.rate, params.increase_rate * dt, H),
+                params.line_rate,
+            )
+            arrival += traj[:H]
+            trajs.append(traj)
+        for job in self._jobs:
+            burst = job._sender
+            if burst is None:
+                trajs.append(None)
+                job_folds.append(None)
+                continue
+            params = burst.params
+            if burst.rate > params.line_rate:
+                return 0
+            traj = np.minimum(
+                fold_traj(burst.rate, params.increase_rate * dt, H),
+                params.line_rate,
+            )
+            sends = traj[:H] * dt
+            rems = np.cumsum(np.concatenate(([burst.remaining], -sends)))
+            # The burst completes at the first tick whose remaining
+            # budget no longer exceeds a full rate*dt quantum.
+            fin = np.nonzero(rems[:H] <= sends)[0]
+            if fin.size and fin[0] < e:
+                e = int(fin[0])
+            arrival += sends / dt
+            trajs.append(traj)
+            job_folds.append((sends, rems))
+        if e == 0:
+            return 0
+        delta = (arrival - queue.capacity) * dt
+        occs = np.cumsum(np.concatenate(([queue.occupancy], delta)))
+        below = np.nonzero(occs[1:] < 0.0)[0]
+        if below.size:
+            # Single clamp episode: pinned at empty until the (nondecreasing)
+            # net inflow turns positive, then the fold restarts from 0.0.
+            j = int(below[0])
+            pos = np.nonzero(delta[j:] > 0.0)[0]
+            k = j + int(pos[0]) if pos.size else H
+            occs[j + 1 : k + 1] = 0.0
+            if k < H:
+                occs[k + 1 :] = np.cumsum(delta[k:])
+        over = np.nonzero(occs[1:] > queue.max_occupancy)[0]
+        if over.size and over[0] < e:
+            e = int(over[0])
+        if e == 0:
+            return 0
+        # Commit: write back final states and emit the sample rows the
+        # scalar loop would have produced inside the stretch.
+        column = 0
+        for sender in self._senders:
+            sender.rate = float(trajs[column][e])
+            column += 1
+        for job, folds in zip(self._jobs, job_folds):
+            if folds is not None:
+                sends, rems = folds
+                burst = job._sender
+                burst.rate = float(trajs[column][e])
+                burst.remaining = float(rems[e])
+                lifecycle = job.lifecycle
+                lifecycle.comm_sent = float(
+                    np.cumsum(
+                        np.concatenate(([lifecycle.comm_sent], sends[:e]))
+                    )[-1]
+                )
+            column += 1
+        queue.occupancy = float(occs[e])
+        for g in sample_ticks(i, i + e, samples_every):
+            rows_t.append((g + 1) * dt)
+            rows_v.append([
+                0.0 if traj is None else float(traj[g - i + 1])
+                for traj in trajs
+            ])
+        self._chunk = (
+            min(self._chunk * 2, 8192) if e == H else max(16, 2 * e)
+        )
+        return e

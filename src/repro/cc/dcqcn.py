@@ -246,6 +246,44 @@ class OnOffDcqcnJob(OnOffSource):
         )
 
 
+class _SampleBuffer:
+    """Buffered sample rows flushed into a result after the run.
+
+    The fixed-step loop appends ``(time, per-sender rates, queue)`` rows
+    and materializes the :class:`TimeSeries` objects (and any telemetry
+    events) once at the end, so disabled-telemetry runs pay no
+    per-sample branch in the inner loop.
+    """
+
+    def __init__(self) -> None:
+        self.rows: List[tuple] = []
+
+    def snapshot(self, time: float, senders, occupancy: float) -> None:
+        """Capture one sample row from live sender objects."""
+        self.rows.append((
+            time,
+            [0.0 if sender.done else sender.rate for sender in senders],
+            occupancy,
+        ))
+
+    def flush(self, result: "DcqcnResult", names, telemetry) -> None:
+        """Materialize the buffered rows into ``result``."""
+        times = [row[0] for row in self.rows]
+        for column, name in enumerate(names):
+            result.rate_series[name] = TimeSeries.from_arrays(
+                name, times, [row[1][column] for row in self.rows]
+            )
+        result.queue_series = TimeSeries.from_arrays(
+            "queue", times, [row[2] for row in self.rows]
+        )
+        if telemetry.enabled:
+            for time, rates, _ in self.rows:
+                for name, rate in zip(names, rates):
+                    telemetry.event(
+                        KIND_CC_RATE, t=time, sender=name, rate=rate
+                    )
+
+
 @dataclass
 class DcqcnResult:
     """Output of a fine-grained DCQCN run.
@@ -310,9 +348,15 @@ class DcqcnFluidSimulator:
         pfc_pause_threshold: Optional[float] = None,
         pfc_resume_threshold: Optional[float] = None,
         telemetry: Optional["_telemetry_session.Telemetry"] = None,
+        engine: str = "vector",
     ) -> None:
         if dt <= 0 or sample_interval < dt:
             raise ConfigError("need dt > 0 and sample_interval >= dt")
+        if engine not in ("scalar", "vector"):
+            raise ConfigError(
+                f"engine must be 'scalar' or 'vector', got {engine!r}"
+            )
+        self.engine = engine
         self.telemetry = _telemetry_session.resolve(telemetry)
         self.capacity = capacity
         self.marker = marker if marker is not None else RedEcnMarker()
@@ -353,17 +397,33 @@ class DcqcnFluidSimulator:
         self.senders.append(source)
 
     def run(self, duration: float) -> DcqcnResult:
-        """Simulate ``duration`` seconds and return sampled traces."""
+        """Simulate ``duration`` seconds and return sampled traces.
+
+        With ``engine="vector"`` (the default) the run goes through the
+        :class:`repro.cc.sender_bank.SenderBank` fast path — batched
+        sender updates, deterministic span advancement and idle/PFC
+        fast-forward — which produces bit-identical traces. Source types
+        the bank does not recognize fall back to the scalar reference
+        loop automatically; ``engine="scalar"`` forces it.
+        """
         if not self.senders:
             raise SimulationError("add at least one sender before run()")
-        result = DcqcnResult(
-            rate_series={s.name: TimeSeries(s.name) for s in self.senders},
-            duration=duration,
-        )
+        if self.engine == "vector":
+            from .sender_bank import SenderBank
+
+            bank = SenderBank.build(self)
+            if bank is not None:
+                return bank.run(duration)
+        return self._run_scalar(duration)
+
+    def _run_scalar(self, duration: float) -> DcqcnResult:
+        """The dt-by-dt reference loop (``engine="scalar"``)."""
+        result = DcqcnResult(duration=duration)
         steps = int(round(duration / self.dt))
         samples_every = max(1, int(round(self.sample_interval / self.dt)))
-        now = 0.0
+        samples = _SampleBuffer()
         for step_index in range(steps):
+            now = step_index * self.dt
             self._update_pfc()
             p_mark = self.marker.marking_probability(self.queue.occupancy)
             arrival = 0.0
@@ -375,20 +435,17 @@ class DcqcnFluidSimulator:
                 for sender in self.senders:
                     arrival += sender.step(now, self.dt, p_mark)
             self.queue.step(arrival / self.dt if self.dt > 0 else 0.0, self.dt)
-            now += self.dt
-            if step_index % samples_every == 0:
-                record_trace = self.telemetry.enabled
-                for sender in self.senders:
-                    rate = 0.0 if sender.done else sender.rate
-                    result.rate_series[sender.name].record(now, rate)
-                    if record_trace:
-                        self.telemetry.event(
-                            KIND_CC_RATE,
-                            t=now,
-                            sender=sender.name,
-                            rate=rate,
-                        )
-                result.queue_series.record(now, self.queue.occupancy)
+            if (step_index + 1) % samples_every == 0:
+                # Samples land on the sample_interval grid: the state
+                # after tick k covers simulated time (k+1) * dt.
+                samples.snapshot(
+                    (step_index + 1) * self.dt,
+                    self.senders,
+                    self.queue.occupancy,
+                )
+        samples.flush(
+            result, [s.name for s in self.senders], self.telemetry
+        )
         if self.telemetry.enabled:
             steps_counter = self.telemetry.counter("cc.steps")
             steps_counter.inc(steps)
@@ -422,6 +479,7 @@ def calibrate_timer_weights(
     warmup: float = 0.05,
     seed: int = 0,
     params: Optional[DcqcnParams] = None,
+    engine: str = "vector",
 ) -> Dict[float, float]:
     """Measure the share weight each increase-timer value earns.
 
@@ -435,7 +493,7 @@ def calibrate_timer_weights(
     if len(timers) < 2:
         raise ConfigError("calibration needs at least two timer values")
     base = params if params is not None else DcqcnParams(line_rate=capacity)
-    sim = DcqcnFluidSimulator(capacity=capacity)
+    sim = DcqcnFluidSimulator(capacity=capacity, engine=engine)
     rng_root = np.random.default_rng(seed)
     names = []
     for index, timer in enumerate(timers):

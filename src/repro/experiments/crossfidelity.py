@@ -90,7 +90,11 @@ def _lineup(timers: Dict[str, float]) -> tuple:
 
 
 def _spec(
-    duration: float, dt: float, seed: int, label: str = "crossfidelity"
+    duration: float,
+    dt: float,
+    seed: int,
+    label: str = "crossfidelity",
+    engine: str = "vector",
 ) -> RunSpec:
     """Both scenarios in one fluid spec (they share random streams)."""
     return RunSpec(
@@ -99,7 +103,7 @@ def _spec(
         seed=seed,
         capacity=gbps(50),
         duration=duration,
-        options=(("dt", dt),),
+        options=(("dt", dt), ("engine", engine)),
         scenarios=(
             ScenarioSpec(
                 "fair",
@@ -137,9 +141,10 @@ def run(
     dt: float = 10e-6,
     skip: int = 3,
     seed: int = 5,
+    engine: str = "vector",
 ) -> CrossFidelityResult:
     """Run both scenarios at fine granularity and summarize."""
-    [result] = run_many([_spec(duration, dt, seed)])
+    [result] = run_many([_spec(duration, dt, seed, engine=engine)])
     return _summarize(result, skip)
 
 
@@ -156,6 +161,7 @@ def dt_sweep(
     duration: float = 1.2,
     skip: int = 1,
     seed: int = 5,
+    engine: str = "vector",
 ) -> List[DtSweepPoint]:
     """The fair/unfair comparison at several fluid time steps.
 
@@ -164,7 +170,11 @@ def dt_sweep(
     runner exists for.
     """
     specs = [
-        _spec(duration, dt, seed, label=f"crossfidelity-dt-{dt:g}")
+        _spec(
+            duration, dt, seed,
+            label=f"crossfidelity-dt-{dt:g}",
+            engine=engine,
+        )
         for dt in dts
     ]
     results = run_many(specs)

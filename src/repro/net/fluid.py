@@ -104,13 +104,20 @@ class FluidAllocator:
 
         while len(frozen) < len(flows):
             active = [f for f in flows if f not in frozen]
+            # Per-link active weight, computed once per fill round and
+            # reused when subtracting usage below.
+            active_weight: Dict[Link, float] = {}
+            for link in remaining:
+                active_weight[link] = sum(
+                    f.weight for f in active if link in f.links
+                )
             # Smallest theta increment that saturates some constraint.
             best_delta: Optional[float] = None
             for link, cap in remaining.items():
-                active_weight = sum(f.weight for f in active if link in f.links)
-                if active_weight <= 0:
+                weight = active_weight[link]
+                if weight <= 0:
                     continue
-                delta = cap / active_weight
+                delta = cap / weight
                 if best_delta is None or delta < best_delta:
                     best_delta = delta
             for flow in active:
@@ -132,9 +139,7 @@ class FluidAllocator:
             for flow in active:
                 rates[flow] += flow.weight * best_delta
             for link in remaining:
-                used = best_delta * sum(
-                    f.weight for f in active if link in f.links
-                )
+                used = best_delta * active_weight[link]
                 remaining[link] = max(0.0, remaining[link] - used)
 
             # Freeze flows on saturated links or at their caps.

@@ -201,6 +201,8 @@ class FluidBackend:
                 sim_kwargs["dt"] = options["dt"]
             if "sample_interval" in options:
                 sim_kwargs["sample_interval"] = options["sample_interval"]
+            if "engine" in options:
+                sim_kwargs["engine"] = options["engine"]
             sim = DcqcnFluidSimulator(**sim_kwargs)
             jobs: Dict[str, OnOffDcqcnJob] = {}
             for sender in scenario.senders:

@@ -38,6 +38,30 @@ class TimeSeries:
         self._times.append(time)
         self._values.append(value)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        times: Iterable[float],
+        values: Iterable[float],
+    ) -> "TimeSeries":
+        """Build a series from already-collected samples in one shot.
+
+        The fixed-step engines buffer their sample rows and materialize
+        the series after the run instead of appending inside the hot
+        loop. Times must be non-decreasing, as with :meth:`record`.
+        """
+        series = cls(name)
+        series._times = [float(t) for t in times]
+        series._values = [float(v) for v in values]
+        for earlier, later in zip(series._times, series._times[1:]):
+            if later < earlier:
+                raise SimulationError(
+                    f"time series {name!r} sampled out of order: "
+                    f"{later} after {earlier}"
+                )
+        return series
+
     def __len__(self) -> int:
         return len(self._times)
 

@@ -21,8 +21,8 @@ REL = 1e-9
 GOLDEN_CDF_SPEEDUP = {"J1": 1.3817034685075564, "J2": 1.2874469008103344}
 
 #: bandwidth_experiment() steady shares, Gbps (defaults, seed=7).
-GOLDEN_FAIR_GBPS = {"J1": 24.248461, "J2": 25.515268}
-GOLDEN_UNFAIR_GBPS = {"J1": 29.028499, "J2": 20.723754}
+GOLDEN_FAIR_GBPS = {"J1": 24.558236, "J2": 25.157187}
+GOLDEN_UNFAIR_GBPS = {"J1": 27.353435, "J2": 22.396467}
 
 #: run_group(groups[i], n_iterations=20, skip=5) mean iteration times.
 GOLDEN_TABLE1 = {

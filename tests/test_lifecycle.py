@@ -414,6 +414,25 @@ class TestAimdOnOffJobs:
         assert "bg" not in result.timelines
         assert result.mean_rate("bg") > 0
 
+    def test_timelines_identical_across_engines(self):
+        # The vectorized span engine must reproduce the scalar loop's
+        # lifecycle clockwork exactly: byte-identical timelines.
+        timelines = {}
+        for engine in ("scalar", "vector"):
+            sim = AimdFluidSimulator(
+                capacity=gbps(50), dt=20e-6, engine=engine
+            )
+            sim.add_sender("bg")
+            sim.add_job(
+                "J1", compute_time=0.002, comm_bytes=gbps(50) * 0.001
+            )
+            timelines[engine] = sim.run(0.1).timeline("J1")
+        assert len(timelines["scalar"]) >= 2
+        assert (
+            repr(timelines["scalar"].__dict__)
+            == repr(timelines["vector"].__dict__)
+        )
+
     def test_cluster_simulation_reports_timelines(self):
         topology = Topology.leaf_spine(
             n_racks=2, hosts_per_rack=1, n_spines=1,
