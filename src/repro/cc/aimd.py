@@ -18,10 +18,18 @@ import numpy as np
 from ..core.lifecycle import JobLifecycle, OnOffSource
 from ..core.timeline import JobTimeline
 from ..errors import ConfigError, SimulationError
+from ..faults.events import InjectionSchedule
+from ..faults.runtime import (
+    MODE_FREEZE,
+    MODE_NORMAL,
+    build_warp,
+    capacity_windows,
+    single_link,
+)
 from ..sim.trace import TimeSeries
 from ..switches.queues import FluidQueue
 from ..units import gbps, kib, mbps
-from .sender_bank import activation_tick, fold_traj, sample_ticks
+from .sender_bank import activation_tick, clamp_drain, fold_traj, sample_ticks
 
 
 @dataclass(frozen=True)
@@ -114,6 +122,7 @@ class OnOffAimdJob(OnOffSource):
         compute_time: float,
         comm_bytes: float,
         start_offset: float = 0.0,
+        warp=None,
     ) -> None:
         self.params = params
         self.compute_time = compute_time
@@ -122,6 +131,7 @@ class OnOffAimdJob(OnOffSource):
             job_id=name,
             segments=((compute_time, comm_bytes),),
             start_offset=start_offset,
+            warp=warp,
         )
         super().__init__(name, lifecycle, self._make_sender)
 
@@ -187,6 +197,7 @@ class AimdFluidSimulator:
         dt: float = 10e-6,
         sample_interval: float = 250e-6,
         engine: str = "vector",
+        faults: Optional[InjectionSchedule] = None,
     ) -> None:
         if dt <= 0 or sample_interval < dt:
             raise ConfigError("need dt > 0 and sample_interval >= dt")
@@ -199,6 +210,9 @@ class AimdFluidSimulator:
         self.queue = FluidQueue(capacity, max_occupancy=buffer_bytes)
         self.dt = dt
         self.sample_interval = sample_interval
+        self.faults = faults
+        self._fault_warps_installed = False
+        single_link(faults)  # reject multi-link schedules up front
         self._senders: List[_AimdSender] = []
         self._jobs: List[OnOffAimdJob] = []
         self._chunk = 256
@@ -236,16 +250,74 @@ class AimdFluidSimulator:
         """
         if not self._senders and not self._jobs:
             raise SimulationError("add at least one sender before run()")
+        self._install_fault_warps()
         sources = self._senders + self._jobs
         steps = int(round(duration / self.dt))
         samples_every = max(1, int(round(self.sample_interval / self.dt)))
         rows_t: List[float] = []
         rows_v: List[List[float]] = []
+        base_capacity = self.queue.capacity
+        for window in capacity_windows(
+            self.faults, steps, self.dt, base_capacity
+        ):
+            if window.mode == MODE_NORMAL:
+                self._set_capacity(window.capacity)
+                self._run_span(
+                    window.start, window.end, samples_every,
+                    rows_t, rows_v, sources,
+                )
+            elif window.mode == MODE_FREEZE:
+                self._span_freeze(
+                    window.start, window.end, samples_every,
+                    rows_t, rows_v, sources,
+                )
+            else:
+                self._set_capacity(window.capacity)
+                self._span_storm(
+                    window.start, window.end, samples_every,
+                    rows_t, rows_v, sources,
+                )
+        self._set_capacity(base_capacity)
+        result = AimdResult(duration=duration)
+        for column, source in enumerate(sources):
+            result.rate_series[source.name] = TimeSeries.from_arrays(
+                source.name, rows_t, [row[column] for row in rows_v]
+            )
+        result.timelines = {job.name: job.timeline for job in self._jobs}
+        return result
+
+    def _install_fault_warps(self) -> None:
+        """Attach per-job warps (stragglers, skew, latency spikes) once."""
+        if self.faults is None or self._fault_warps_installed:
+            return
+        self._fault_warps_installed = True
+        link = single_link(self.faults)
+        links = (link,) if link is not None else ()
+        for job in self._jobs:
+            warp = build_warp(self.faults, job.name, links)
+            if warp is not None:
+                job.install_warp(warp)
+
+    def _set_capacity(self, capacity: float) -> None:
+        """Point both capacity views at the window's effective value."""
+        self.capacity = capacity
+        self.queue.capacity = capacity
+
+    def _run_span(
+        self,
+        start: int,
+        end: int,
+        samples_every: int,
+        rows_t: List[float],
+        rows_v: List[List[float]],
+        sources: List[object],
+    ) -> None:
+        """The regular engine loop over ticks ``[start, end)``."""
         if self.engine == "vector":
-            i = 0
-            while i < steps:
+            i = start
+            while i < end:
                 advanced = self._try_span(
-                    i, steps, samples_every, rows_t, rows_v, sources
+                    i, end, samples_every, rows_t, rows_v, sources
                 )
                 if advanced:
                     i += advanced
@@ -256,20 +328,67 @@ class AimdFluidSimulator:
                     rows_t.append(i * self.dt)
                     rows_v.append([source.rate for source in sources])
         else:
-            for step_index in range(steps):
+            for step_index in range(start, end):
                 self._step_once(step_index, sources)
                 if (step_index + 1) % samples_every == 0:
                     # Samples land on the sample_interval grid: the
                     # state after tick k covers time (k+1) * dt.
                     rows_t.append((step_index + 1) * self.dt)
                     rows_v.append([source.rate for source in sources])
-        result = AimdResult(duration=duration)
-        for column, source in enumerate(sources):
-            result.rate_series[source.name] = TimeSeries.from_arrays(
-                source.name, rows_t, [row[column] for row in rows_v]
-            )
-        result.timelines = {job.name: job.timeline for job in self._jobs}
-        return result
+
+    def _span_freeze(
+        self,
+        start: int,
+        end: int,
+        samples_every: int,
+        rows_t: List[float],
+        rows_v: List[List[float]],
+        sources: List[object],
+    ) -> None:
+        """Failed-link ticks: all state holds; only sample rows appear.
+
+        A frozen span has no dynamics by definition, so both engines
+        share this closed form.
+        """
+        wanted = sample_ticks(start, end, samples_every)
+        if not len(wanted):
+            return
+        row = [source.rate for source in sources]
+        for g in wanted:
+            rows_t.append((g + 1) * self.dt)
+            rows_v.append(list(row))
+
+    def _span_storm(
+        self,
+        start: int,
+        end: int,
+        samples_every: int,
+        rows_t: List[float],
+        rows_v: List[List[float]],
+        sources: List[object],
+    ) -> None:
+        """Pause-storm ticks: senders frozen while the queue drains.
+
+        AIMD has no PFC model, so a storm degrades to a pause: no
+        arrivals, no loss feedback, rates held.
+        """
+        if end <= start:
+            return
+        if self.engine == "vector":
+            span = end - start
+            delta = (0.0 - self.queue.capacity) * self.dt
+            traj = clamp_drain(fold_traj(self.queue.occupancy, delta, span))
+            self.queue.occupancy = float(traj[span])
+            row = [source.rate for source in sources]
+            for g in sample_ticks(start, end, samples_every):
+                rows_t.append((g + 1) * self.dt)
+                rows_v.append(list(row))
+        else:
+            for step_index in range(start, end):
+                self.queue.step(0.0, self.dt)
+                if (step_index + 1) % samples_every == 0:
+                    rows_t.append((step_index + 1) * self.dt)
+                    rows_v.append([source.rate for source in sources])
 
     def _step_once(self, step_index: int, sources: List[object]) -> None:
         """One exact reference tick shared by both engines."""

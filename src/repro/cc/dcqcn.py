@@ -34,6 +34,15 @@ import numpy as np
 from ..core.lifecycle import JobLifecycle, OnOffSource
 from ..core.timeline import JobTimeline
 from ..errors import ConfigError, SimulationError
+from ..faults.events import InjectionSchedule
+from ..faults.runtime import (
+    MODE_FREEZE,
+    MODE_NORMAL,
+    build_warp,
+    capacity_windows,
+    emit_fault_events,
+    single_link,
+)
 from ..sim.trace import TimeSeries
 from ..switches.ecn import RedEcnMarker
 from ..switches.queues import FluidQueue
@@ -227,6 +236,7 @@ class OnOffDcqcnJob(OnOffSource):
         compute_time: float,
         comm_bytes: float,
         start_offset: float = 0.0,
+        warp=None,
     ) -> None:
         self.params = params
         self._rng = rng
@@ -236,6 +246,7 @@ class OnOffDcqcnJob(OnOffSource):
             job_id=name,
             segments=((compute_time, comm_bytes),),
             start_offset=start_offset,
+            warp=warp,
         )
         super().__init__(name, lifecycle, self._make_sender)
 
@@ -349,6 +360,7 @@ class DcqcnFluidSimulator:
         pfc_resume_threshold: Optional[float] = None,
         telemetry: Optional["_telemetry_session.Telemetry"] = None,
         engine: str = "vector",
+        faults: Optional[InjectionSchedule] = None,
     ) -> None:
         if dt <= 0 or sample_interval < dt:
             raise ConfigError("need dt > 0 and sample_interval >= dt")
@@ -357,6 +369,9 @@ class DcqcnFluidSimulator:
                 f"engine must be 'scalar' or 'vector', got {engine!r}"
             )
         self.engine = engine
+        self.faults = faults
+        self._fault_warps_installed = False
+        single_link(faults)  # reject multi-link schedules up front
         self.telemetry = _telemetry_session.resolve(telemetry)
         self.capacity = capacity
         self.marker = marker if marker is not None else RedEcnMarker()
@@ -408,6 +423,8 @@ class DcqcnFluidSimulator:
         """
         if not self.senders:
             raise SimulationError("add at least one sender before run()")
+        self._install_fault_warps()
+        emit_fault_events(self.telemetry, self.faults)
         if self.engine == "vector":
             from .sender_bank import SenderBank
 
@@ -416,13 +433,78 @@ class DcqcnFluidSimulator:
                 return bank.run(duration)
         return self._run_scalar(duration)
 
+    def _install_fault_warps(self) -> None:
+        """Attach per-job warps (stragglers, skew, latency spikes) once.
+
+        All traffic in this tier crosses the single bottleneck, so the
+        schedule's one link (if any) applies to every on-off job.
+        """
+        if self.faults is None or self._fault_warps_installed:
+            return
+        self._fault_warps_installed = True
+        link = single_link(self.faults)
+        links = (link,) if link is not None else ()
+        for sender in self.senders:
+            if isinstance(sender, OnOffSource):
+                warp = build_warp(self.faults, sender.name, links)
+                if warp is not None:
+                    sender.install_warp(warp)
+
+    def _set_capacity(self, capacity: float) -> None:
+        """Point both capacity views at the window's effective value."""
+        self.capacity = capacity
+        self.queue.capacity = capacity
+
     def _run_scalar(self, duration: float) -> DcqcnResult:
         """The dt-by-dt reference loop (``engine="scalar"``)."""
         result = DcqcnResult(duration=duration)
         steps = int(round(duration / self.dt))
         samples_every = max(1, int(round(self.sample_interval / self.dt)))
         samples = _SampleBuffer()
-        for step_index in range(steps):
+        base_capacity = self.capacity
+        for window in capacity_windows(
+            self.faults, steps, self.dt, base_capacity
+        ):
+            if window.mode == MODE_NORMAL:
+                self._set_capacity(window.capacity)
+                self._scalar_span(
+                    window.start, window.end, samples_every, samples
+                )
+            elif window.mode == MODE_FREEZE:
+                # Link failed: nothing behind it moves — senders, queue
+                # and activation clockwork all hold their state.
+                self._scalar_freeze(
+                    window.start, window.end, samples_every, samples
+                )
+            else:
+                # PFC storm: forced pause-step semantics regardless of
+                # queue thresholds; the queue drains at base capacity.
+                self._set_capacity(window.capacity)
+                self._scalar_storm(
+                    window.start, window.end, samples_every, samples
+                )
+        self._set_capacity(base_capacity)
+        samples.flush(
+            result, [s.name for s in self.senders], self.telemetry
+        )
+        if self.telemetry.enabled:
+            steps_counter = self.telemetry.counter("cc.steps")
+            steps_counter.inc(steps)
+            cnp_counter = self.telemetry.counter("cc.cnps")
+            for sender in self.senders:
+                cnp_counter.inc(getattr(sender, "cnps_received", 0))
+        result.timelines = {
+            sender.name: sender.timeline
+            for sender in self.senders
+            if isinstance(sender, OnOffSource)
+        }
+        return result
+
+    def _scalar_span(
+        self, start: int, end: int, samples_every: int, samples: _SampleBuffer
+    ) -> None:
+        """The regular per-tick loop over ticks ``[start, end)``."""
+        for step_index in range(start, end):
             now = step_index * self.dt
             self._update_pfc()
             p_mark = self.marker.marking_probability(self.queue.occupancy)
@@ -443,21 +525,32 @@ class DcqcnFluidSimulator:
                     self.senders,
                     self.queue.occupancy,
                 )
-        samples.flush(
-            result, [s.name for s in self.senders], self.telemetry
-        )
-        if self.telemetry.enabled:
-            steps_counter = self.telemetry.counter("cc.steps")
-            steps_counter.inc(steps)
-            cnp_counter = self.telemetry.counter("cc.cnps")
-            for sender in self.senders:
-                cnp_counter.inc(getattr(sender, "cnps_received", 0))
-        result.timelines = {
-            sender.name: sender.timeline
-            for sender in self.senders
-            if isinstance(sender, OnOffSource)
-        }
-        return result
+
+    def _scalar_freeze(
+        self, start: int, end: int, samples_every: int, samples: _SampleBuffer
+    ) -> None:
+        """Failed-link ticks: state holds, only sample rows are emitted."""
+        for step_index in range(start, end):
+            if (step_index + 1) % samples_every == 0:
+                samples.snapshot(
+                    (step_index + 1) * self.dt,
+                    self.senders,
+                    self.queue.occupancy,
+                )
+
+    def _scalar_storm(
+        self, start: int, end: int, samples_every: int, samples: _SampleBuffer
+    ) -> None:
+        """PFC-storm ticks: senders idle while the queue drains."""
+        for step_index in range(start, end):
+            self.pfc_pause_seconds += self.dt
+            self.queue.step(0.0, self.dt)
+            if (step_index + 1) % samples_every == 0:
+                samples.snapshot(
+                    (step_index + 1) * self.dt,
+                    self.senders,
+                    self.queue.occupancy,
+                )
 
     def _update_pfc(self) -> None:
         if self.pfc_pause_threshold is None:

@@ -66,6 +66,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.lifecycle import OnOffSource
+from ..faults.runtime import MODE_FREEZE, MODE_NORMAL, capacity_windows
 from ..switches.ecn import RedEcnMarker
 from ..switches.queues import FluidQueue
 from .dcqcn import (
@@ -544,9 +545,38 @@ class SenderBank:
         steps = int(round(duration / dt))
         samples_every = max(1, int(round(sim.sample_interval / dt)))
         samples = _SampleBuffer()
+        base_capacity = sim.capacity
+        # Fault windows partition the run; span fast-forward truncates
+        # at every boundary because each window's end is the bound the
+        # inner loop sees. An empty schedule is one normal window, i.e.
+        # exactly the historical single-loop run.
+        for window in capacity_windows(sim.faults, steps, dt, base_capacity):
+            if window.mode == MODE_NORMAL:
+                sim._set_capacity(window.capacity)
+                self._run_span(
+                    window.start, window.end, samples_every, samples
+                )
+            elif window.mode == MODE_FREEZE:
+                self._bulk_freeze(
+                    window.start, window.end, samples_every, samples
+                )
+            else:
+                sim._set_capacity(window.capacity)
+                self._bulk_storm(
+                    window.start, window.end, samples_every, samples
+                )
+        sim._set_capacity(base_capacity)
+        return self._finish(duration, steps, samples)
+
+    def _run_span(
+        self, start: int, steps: int, samples_every: int,
+        samples: _SampleBuffer,
+    ) -> None:
+        """The regular engine loop over ticks ``[start, steps)``."""
+        sim = self.sim
         has_pfc = self._has_pfc
-        i = 0
-        retry_at = 0
+        i = start
+        retry_at = start
         retry_gap = TICK_RETRY
         while i < steps:
             if has_pfc:
@@ -580,7 +610,50 @@ class SenderBank:
             if end > steps:
                 end = steps
             i = self._tick_run(i, end, samples_every, samples)
-        return self._finish(duration, steps, samples)
+
+    def _bulk_freeze(
+        self, i: int, end: int, samples_every: int, samples: _SampleBuffer
+    ) -> None:
+        """Failed-link ticks: all state holds; emit sample rows only."""
+        dt = self.sim.dt
+        wanted = sample_ticks(i, end, samples_every)
+        if not len(wanted):
+            return
+        occupancy = float(self.sim.queue.occupancy)
+        row = [
+            self.rate[k] if self.active[k] else 0.0
+            for k in range(len(self.objs))
+        ]
+        for j in wanted:
+            samples.rows.append(((j + 1) * dt, list(row), occupancy))
+
+    def _bulk_storm(
+        self, i: int, end: int, samples_every: int, samples: _SampleBuffer
+    ) -> None:
+        """PFC-storm ticks: senders frozen while the queue drains.
+
+        Same closed-form drain as :meth:`_bulk_pause`, but the span is
+        the whole window — no resume-threshold crossing to search for —
+        and the simulator's PFC hysteresis state is left untouched.
+        """
+        sim = self.sim
+        dt = sim.dt
+        span = end - i
+        if span <= 0:
+            return
+        occ0 = sim.queue.occupancy
+        delta = (0.0 - sim.capacity) * dt
+        traj = clamp_drain(fold_traj(occ0, delta, span))
+        sim.pfc_pause_seconds = fold_last(sim.pfc_pause_seconds, dt, span)
+        sim.queue.occupancy = float(traj[span])
+        row = [
+            self.rate[k] if self.active[k] else 0.0
+            for k in range(len(self.objs))
+        ]
+        for j in sample_ticks(i, end, samples_every):
+            samples.rows.append(
+                ((j + 1) * dt, list(row), float(traj[j - i + 1]))
+            )
 
     # ------------------------------------------------------------------
     # Idle / PFC fast-forward

@@ -46,6 +46,7 @@ from .experiments import (
     figure4,
     figure5,
     mechanisms_exp,
+    robustness,
     scheduler_exp,
     sweep,
     table1,
@@ -81,6 +82,8 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], None]]] = {
                    extensions.main),
     "sweep": ("population sweep: compatibility probability vs comm fraction",
               sweep.main),
+    "robustness": ("fault injection: where the sliding effect collapses",
+                   robustness.main),
 }
 
 

@@ -72,6 +72,9 @@ class JobLifecycle:
             ``compute_jitter > 0``).
         compute_jitter: Std-dev of per-iteration compute noise as a
             fraction of the segment compute time.
+        warp: Optional fault-injection hook ``warp(now, duration)``
+            applied to every compute phase's duration (see
+            :class:`repro.faults.JobWarp`). Must be deterministic.
     """
 
     def __init__(
@@ -83,6 +86,7 @@ class JobLifecycle:
         gate: Optional[Gate] = None,
         rng: Optional[np.random.Generator] = None,
         compute_jitter: float = 0.0,
+        warp: Optional[Callable[[float, float], float]] = None,
     ) -> None:
         segments = tuple(segments)
         if not segments:
@@ -104,6 +108,7 @@ class JobLifecycle:
         self.n_iterations = n_iterations
         self.start_offset = start_offset
         self.gate = gate
+        self.warp = warp
         self.compute_jitter = compute_jitter
         self.state = JobState.IDLE
         self.timeline = JobTimeline(job_id)
@@ -187,6 +192,13 @@ class JobLifecycle:
     # Transitions
     # ------------------------------------------------------------------
 
+    def phase_duration(self, now: float) -> float:
+        """The current compute phase's duration, warp applied."""
+        duration = self.segment_compute_time()
+        if self.warp is not None:
+            duration = self.warp(now, duration)
+        return duration
+
     def begin_iteration(self, now: float) -> float:
         """Enter COMPUTE for a fresh iteration; returns its compute time."""
         if self.done:
@@ -198,7 +210,7 @@ class JobLifecycle:
         self.segment_index = 0
         self.comm_budget = self._segments[0][1]
         self.compute_factor = self.sample_compute_factor()
-        return self.segment_compute_time()
+        return self.phase_duration(now)
 
     def release_time(self, now: float) -> float:
         """The gate's earliest permitted communication start.
@@ -240,7 +252,7 @@ class JobLifecycle:
         self.segment_index += 1
         self.comm_budget = self._segments[self.segment_index][1]
         self.state = JobState.COMPUTE
-        return self.segment_compute_time()
+        return self.phase_duration(now)
 
     def close_iteration(self, now: float) -> IterationSample:
         """Record the finished iteration; DONE when the budget is spent."""
@@ -288,6 +300,27 @@ class OnOffSource:
         self._sender_factory = sender_factory
         self._sender: Optional[object] = None
         self._deadline = lifecycle.start_offset + lifecycle.begin_iteration(
+            lifecycle.start_offset
+        )
+
+    def install_warp(self, warp: Callable[[float, float], float]) -> None:
+        """Install a fault warp on a source that has not started yet.
+
+        The first compute deadline is fixed at construction, so a warp
+        attached afterwards must be applied to it retroactively — the
+        compute factor was already sampled, so no random draws repeat.
+        """
+        lifecycle = self.lifecycle
+        if (
+            self._sender is not None
+            or len(lifecycle.timeline)
+            or lifecycle.segment_index
+        ):
+            raise SimulationError(
+                f"{self.name}: cannot install a fault warp mid-run"
+            )
+        lifecycle.warp = warp
+        self._deadline = lifecycle.start_offset + lifecycle.phase_duration(
             lifecycle.start_offset
         )
 

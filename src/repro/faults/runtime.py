@@ -1,0 +1,217 @@
+"""Adapters from an :class:`InjectionSchedule` into the simulators.
+
+Two mechanisms cover every tier:
+
+* **Capacity windows** — fixed-step fluid tiers quantize the schedule's
+  capacity-affecting link events onto the tick grid and partition the
+  run ``[0, steps)`` into :class:`Window` spans, each with a mode
+  (normal / freeze / storm) and an effective capacity. An empty schedule
+  yields a single normal window, so the unfaulted code path is
+  bit-identical to a schedule-free run. The event-driven tiers instead
+  schedule capacity mutations directly on the simulator clock.
+* **Job warps** — per-job compute perturbations (stragglers, clock
+  skew) and latency spikes compile into a :class:`JobWarp`, a picklable
+  callable installed as :attr:`repro.core.lifecycle.JobLifecycle.warp`.
+  Every tier calls the lifecycle's transition methods at identical
+  simulation times, so warping inside the lifecycle keeps the scalar
+  and vector engines bit-for-bit aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .events import (
+    InjectionSchedule,
+    LatencySpike,
+    LinkFailure,
+    PfcStorm,
+    RateChange,
+    Straggler,
+)
+
+#: Window modes of the fixed-step tiers.
+MODE_NORMAL = "normal"
+MODE_FREEZE = "freeze"
+MODE_STORM = "storm"
+
+
+@dataclass(frozen=True)
+class Window:
+    """One span of ticks ``[start, end)`` under a single fault mode.
+
+    Attributes:
+        start: First tick index of the span (inclusive).
+        end: One past the last tick index (exclusive).
+        mode: ``MODE_NORMAL`` (run the regular loop at ``capacity``),
+            ``MODE_FREEZE`` (link failed: nothing moves) or
+            ``MODE_STORM`` (PFC storm: senders idle, queue drains).
+        capacity: Effective link capacity over the span, bytes/s.
+    """
+
+    start: int
+    end: int
+    mode: str
+    capacity: float
+
+
+def quantize_tick(time: float, dt: float) -> int:
+    """Map an event time onto the tick grid (nearest tick boundary)."""
+    return int(round(time / dt))
+
+
+def single_link(schedule: Optional[InjectionSchedule]) -> Optional[str]:
+    """The unique link a schedule addresses, for single-bottleneck tiers.
+
+    Returns ``None`` for an empty/link-free schedule and raises
+    :class:`~repro.errors.ConfigError` when events name more than one
+    distinct link — a single-bottleneck fluid model cannot tell them
+    apart.
+    """
+    if schedule is None:
+        return None
+    names = schedule.link_names()
+    if not names:
+        return None
+    if len(names) > 1:
+        raise ConfigError(
+            "single-bottleneck tier cannot apply a schedule naming "
+            f"multiple links: {names}"
+        )
+    return names[0]
+
+
+def capacity_windows(
+    schedule: Optional[InjectionSchedule],
+    steps: int,
+    dt: float,
+    base_capacity: float,
+) -> List[Window]:
+    """Partition ``[0, steps)`` into fault windows for a fixed-step run.
+
+    Event times are quantized with :func:`quantize_tick`; events that
+    collapse to zero ticks at this resolution are dropped (consistent
+    with the schedule-level zero-duration no-op rule). The returned
+    windows tile the whole run, and an empty schedule yields exactly one
+    ``MODE_NORMAL`` window at ``base_capacity``.
+    """
+    events = [] if schedule is None else schedule.capacity_events(
+        single_link(schedule)
+    )
+    spans: List[Window] = []
+    for event in events:
+        start = min(max(quantize_tick(event.start, dt), 0), steps)
+        end = min(max(quantize_tick(event.end, dt), 0), steps)
+        if end <= start:
+            continue
+        if isinstance(event, RateChange):
+            spans.append(Window(
+                start, end, MODE_NORMAL, base_capacity * event.factor
+            ))
+        elif isinstance(event, LinkFailure):
+            spans.append(Window(start, end, MODE_FREEZE, 0.0))
+        else:  # PfcStorm — the queue still drains at base capacity.
+            spans.append(Window(start, end, MODE_STORM, base_capacity))
+    spans.sort(key=lambda w: w.start)
+    windows: List[Window] = []
+    cursor = 0
+    for span in spans:
+        if span.start > cursor:
+            windows.append(Window(
+                cursor, span.start, MODE_NORMAL, base_capacity
+            ))
+        windows.append(span)
+        cursor = span.end
+    if cursor < steps or not windows:
+        windows.append(Window(cursor, steps, MODE_NORMAL, base_capacity))
+    return windows
+
+
+@dataclass(frozen=True)
+class JobWarp:
+    """Compiled per-job perturbations, applied inside the lifecycle.
+
+    Called as ``warp(now, duration)`` when a compute phase begins at
+    simulation time ``now`` with unperturbed duration ``duration``;
+    returns the perturbed duration (clamped at zero). Stragglers apply
+    multiplicatively and clock skews additively when the phase *begins*
+    inside their window; latency spikes add their extra seconds when the
+    subsequent communication phase (at ``now + duration``) would begin
+    inside theirs.
+    """
+
+    stragglers: Tuple[Tuple[float, float, float], ...] = ()
+    skews: Tuple[Tuple[float, float, float], ...] = ()
+    spikes: Tuple[Tuple[float, float, float], ...] = ()
+
+    def __call__(self, now: float, duration: float) -> float:
+        warped = duration
+        for start, end, factor in self.stragglers:
+            if start <= now < end:
+                warped *= factor
+        for start, end, offset in self.skews:
+            if start <= now < end:
+                warped += offset
+        if warped < 0.0:
+            warped = 0.0
+        for start, end, extra in self.spikes:
+            if start <= now + warped < end:
+                warped += extra
+        return warped
+
+
+def build_warp(
+    schedule: Optional[InjectionSchedule],
+    job: str,
+    links: Iterable[str] = (),
+) -> Optional[JobWarp]:
+    """Compile the schedule's perturbations of one job into a warp.
+
+    ``links`` names the links the job's traffic traverses; latency
+    spikes on those links delay the job's communication phases. Returns
+    ``None`` when nothing in the schedule touches the job, so callers
+    can skip installing a warp (and keep the unfaulted path untouched).
+    """
+    if schedule is None:
+        return None
+    link_set = set(links)
+    stragglers = []
+    skews = []
+    for event in schedule.job_events(job):
+        if isinstance(event, Straggler):
+            stragglers.append((event.start, event.end, event.factor))
+        else:
+            skews.append((event.start, event.end, event.offset))
+    spikes = [
+        (event.start, event.end, event.extra)
+        for event in schedule.latency_events()
+        if event.link in link_set
+    ]
+    if not (stragglers or skews or spikes):
+        return None
+    return JobWarp(
+        stragglers=tuple(stragglers),
+        skews=tuple(skews),
+        spikes=tuple(spikes),
+    )
+
+
+def emit_fault_events(telemetry, schedule: Optional[InjectionSchedule]) -> None:
+    """Record every scheduled fault window into the telemetry trace."""
+    if schedule is None or not telemetry.enabled:
+        return
+    from ..telemetry.trace import KIND_FAULT
+
+    for event in schedule.events:
+        target = getattr(event, "link", None)
+        if target is None:
+            target = event.job
+        telemetry.event(
+            KIND_FAULT,
+            t=event.start,
+            fault=event.kind,
+            target=target,
+            end=event.end,
+        )

@@ -10,6 +10,7 @@ and replayed by the ``repro-experiments stats`` / ``trace`` commands.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Union
@@ -25,6 +26,7 @@ from .core.compatibility import CompatibilityResult
 from .core.lifecycle import JobState
 from .core.timeline import JobTimeline
 from .errors import ConfigError
+from .faults.events import EVENT_KINDS, InjectionSchedule
 from .mechanisms.flow_scheduling import PeriodicGate
 from .net.phasesim import JobRun, SimulationResult
 from .net.topology import NodeKind, Topology
@@ -374,6 +376,73 @@ def gate_from_dict(data: Dict[str, Any]) -> PeriodicGate:
 
 
 # ---------------------------------------------------------------------------
+# Fault injection schedules
+# ---------------------------------------------------------------------------
+
+def fault_event_to_dict(event: Any) -> Dict[str, Any]:
+    """Serialize one fault event, tagged with its ``kind``."""
+    kind = getattr(event, "kind", None)
+    if kind not in EVENT_KINDS or not isinstance(event, EVENT_KINDS[kind]):
+        raise ConfigError(
+            f"cannot serialize fault event of type {type(event).__name__}"
+        )
+    data = {
+        field.name: getattr(event, field.name)
+        for field in dataclasses.fields(event)
+    }
+    data["kind"] = kind
+    return data
+
+
+def fault_event_from_dict(data: Dict[str, Any]) -> Any:
+    """Deserialize one kind-tagged fault event."""
+    kind = data.get("kind")
+    try:
+        cls = EVENT_KINDS[kind]
+    except KeyError:
+        raise ConfigError(f"unknown fault event kind {kind!r}") from None
+    fields = {
+        field.name: data[field.name] for field in dataclasses.fields(cls)
+    }
+    return cls(**fields)
+
+
+def injection_schedule_to_dict(
+    schedule: InjectionSchedule,
+) -> Dict[str, Any]:
+    """Serialize a fault injection schedule."""
+    return {
+        "version": FORMAT_VERSION,
+        "horizon": schedule.horizon,
+        "events": [
+            fault_event_to_dict(event) for event in schedule.events
+        ],
+    }
+
+
+def injection_schedule_from_dict(
+    data: Dict[str, Any],
+) -> InjectionSchedule:
+    """Deserialize a fault injection schedule (re-validates it)."""
+    _check_version(data)
+    try:
+        return InjectionSchedule(
+            events=tuple(
+                fault_event_from_dict(entry)
+                for entry in data["events"]
+            ),
+            horizon=(
+                None if data.get("horizon") is None
+                else float(data["horizon"])
+            ),
+        )
+    except KeyError as exc:
+        raise ConfigError(
+            f"missing field in injection schedule: {exc}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
 # Time series and step functions
 # ---------------------------------------------------------------------------
 
@@ -645,6 +714,13 @@ def run_spec_to_dict(spec: Any) -> Dict[str, Any]:
             [key, _encode_option(value)] for key, value in spec.options
         ],
         "backend_module": spec.backend_module,
+        # An empty schedule is the documented no-op, bit-identical to
+        # no schedule at all — normalize it to null so clean and
+        # zero-event specs share one content hash (and cache entry).
+        "faults": (
+            None if spec.faults is None or spec.faults.is_empty
+            else injection_schedule_to_dict(spec.faults)
+        ),
     }
 
 
@@ -697,6 +773,10 @@ def run_spec_from_dict(data: Dict[str, Any]) -> Any:
             for key, value in data.get("options", [])
         ),
         backend_module=data.get("backend_module", ""),
+        faults=(
+            None if data.get("faults") is None
+            else injection_schedule_from_dict(data["faults"])
+        ),
     )
 
 

@@ -29,12 +29,15 @@ import numpy as np
 from ..core.lifecycle import Gate, JobLifecycle, JobState
 from ..core.timeline import IterationSample, JobTimeline
 from ..errors import ConfigError, SimulationError, WorkloadError
+from ..faults.events import CAPACITY_EVENT_TYPES, InjectionSchedule, RateChange
+from ..faults.runtime import build_warp
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import StepFunction
 from ..telemetry import session as _telemetry_session
 from ..telemetry.trace import (
     KIND_COMM,
+    KIND_FAULT,
     KIND_ITERATION,
     KIND_PHASE,
     KIND_RATE,
@@ -356,6 +359,78 @@ class PhaseLevelSimulator:
                 )
         return run
 
+    def install_faults(
+        self, schedule: Optional[InjectionSchedule]
+    ) -> None:
+        """Arm an injection schedule on the simulator clock.
+
+        Call after every :meth:`add_job`, before :meth:`run`. Capacity
+        events (rate changes, failures, PFC storms — the latter degrade
+        to transient failures in this tier, which has no PFC model)
+        become boundary callbacks that mutate the named link's capacity
+        and trigger a reallocation; job events and latency spikes become
+        lifecycle warps. Link names must exist in the topology; job
+        events naming unknown jobs are ignored (a schedule may span more
+        jobs than one placement runs).
+        """
+        if schedule is None or schedule.is_empty:
+            return
+        known = {link.name for link in self.topology.links}
+        for name in schedule.link_names():
+            if name not in known:
+                raise ConfigError(
+                    f"fault schedule names unknown link {name!r}"
+                )
+        for event in schedule.events:
+            if not isinstance(event, CAPACITY_EVENT_TYPES):
+                continue
+            # Directed topologies may reuse a name per direction; the
+            # fault hits every link carrying it.
+            targets = [
+                link for link in self.topology.links
+                if link.name == event.link
+            ]
+            for link in targets:
+                base = link.capacity
+                faulted = (
+                    base * event.factor
+                    if isinstance(event, RateChange)
+                    else 0.0
+                )
+                # priority=-1: capacity flips before any same-time job
+                # event sees the link, mirroring the fluid tiers where
+                # the window starts at the tick boundary.
+                self._sim.schedule_at(
+                    event.start, self._apply_link_fault,
+                    link, faulted, event.kind, "start", priority=-1,
+                )
+                self._sim.schedule_at(
+                    event.end, self._apply_link_fault,
+                    link, base, event.kind, "end", priority=-1,
+                )
+        for run in self._jobs:
+            link_names = sorted({
+                link.name for flow in run.flows for link in flow.links
+            })
+            warp = build_warp(schedule, run.job_id, link_names)
+            if warp is not None:
+                run.lifecycle.warp = warp
+
+    def _apply_link_fault(
+        self, link, capacity: float, kind: str, edge: str
+    ) -> None:
+        link.capacity = capacity
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                KIND_FAULT,
+                t=self._sim.now,
+                fault=kind,
+                target=link.name,
+                edge=edge,
+                capacity=capacity,
+            )
+        self._reallocate()
+
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
@@ -578,7 +653,14 @@ class PhaseLevelSimulator:
         if self._tick_event is not None:
             self._sim.cancel(self._tick_event)
             self._tick_event = None
-        if self._active:
+        # Only re-arm while some active job is actually moving: with
+        # every rate at zero (e.g. a failed link) progress cannot change,
+        # so a tick would reschedule itself forever and an unbounded run
+        # would never drain its event queue. Whatever external event revives a
+        # flow (fault boundary, phase change) reallocates and re-arms.
+        if self._active and any(
+            self._rates.get(run, 0.0) > 0.0 for run in self._active
+        ):
             self._tick_event = self._sim.schedule(
                 interval, self._tick, priority=1
             )

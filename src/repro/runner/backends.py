@@ -25,6 +25,8 @@ import importlib
 from typing import Dict, List, Optional, Protocol
 
 from ..errors import ConfigError, SimulationError
+from ..faults.events import RateChange
+from ..faults.runtime import build_warp, emit_fault_events, single_link
 from ..net.phasesim import (
     JobRun,
     PhaseLevelSimulator,
@@ -154,6 +156,7 @@ class PhaseBackend:
                 start_offset=offsets.get(job.job_id, 0.0),
                 gate=gates.get(job.job_id),
             )
+        sim.install_faults(spec.faults)
         result = _detach_events(sim.run(until=spec.until))
         return RunResult(
             spec_hash=safe_content_hash(spec),
@@ -190,6 +193,13 @@ class FluidBackend:
             raise ConfigError("fluid backend needs at least one scenario")
         if spec.duration <= 0:
             raise ConfigError("fluid backend needs a positive duration")
+        fault_link = single_link(spec.faults)
+        if fault_link not in (None, BOTTLENECK_LINK):
+            raise ConfigError(
+                "fluid backend models a single bottleneck named "
+                f"{BOTTLENECK_LINK!r}; the fault schedule targets "
+                f"{fault_link!r}"
+            )
         options = spec.options_dict()
         capacity = spec.capacity or gbps(50)
         params = DcqcnParams(line_rate=capacity)
@@ -203,6 +213,8 @@ class FluidBackend:
                 sim_kwargs["sample_interval"] = options["sample_interval"]
             if "engine" in options:
                 sim_kwargs["engine"] = options["engine"]
+            if spec.faults is not None:
+                sim_kwargs["faults"] = spec.faults
             sim = DcqcnFluidSimulator(**sim_kwargs)
             jobs: Dict[str, OnOffDcqcnJob] = {}
             for sender in scenario.senders:
@@ -290,7 +302,17 @@ class EngineBackend:
             raise ConfigError("engine backend needs job specs")
         if spec.n_iterations < 1:
             raise ConfigError("engine backend needs n_iterations >= 1")
+        fault_link = single_link(spec.faults)
+        if fault_link not in (None, BOTTLENECK_LINK):
+            raise ConfigError(
+                "engine backend models a single bottleneck named "
+                f"{BOTTLENECK_LINK!r}; the fault schedule targets "
+                f"{fault_link!r}"
+            )
         capacity = spec.capacity or EFFECTIVE_BOTTLENECK
+        # Mutable holder: fault boundary events rebind the bottleneck's
+        # effective capacity mid-run (closures below read cap[0]).
+        cap = [capacity]
         streams = RandomStreams(spec.seed)
         sim = Simulator()
         load = StepFunction(0.0, name=f"load:{BOTTLENECK_LINK}")
@@ -306,6 +328,11 @@ class EngineBackend:
                 gate=None,
                 rng=streams.get(f"job:{job_spec.job_id}"),
             )
+            warp = build_warp(
+                spec.faults, job_spec.job_id, (BOTTLENECK_LINK,)
+            )
+            if warp is not None:
+                run.lifecycle.warp = warp
             jobs.append(_EngineJob(run, self._weight(spec, job_spec.job_id)))
 
         active: List[_EngineJob] = []
@@ -326,7 +353,7 @@ class EngineBackend:
             total_rate = 0.0
             for job in active:
                 rate = (
-                    capacity * job.weight / total_weight
+                    cap[0] * job.weight / total_weight
                     if total_weight > 0
                     else 0.0
                 )
@@ -370,6 +397,32 @@ class EngineBackend:
                 if not run.done:
                     begin_iteration(job)
             reallocate()
+
+        def apply_fault(value: float) -> None:
+            cap[0] = value
+            reallocate()
+
+        if spec.faults is not None:
+            from ..telemetry import session as _telemetry_session
+
+            emit_fault_events(
+                _telemetry_session.resolve(None), spec.faults
+            )
+            for event in spec.faults.capacity_events(BOTTLENECK_LINK):
+                if isinstance(event, RateChange):
+                    faulted = capacity * event.factor
+                else:
+                    # LinkFailure / PfcStorm both degrade to a dead span
+                    # in this tier (no PFC model to storm).
+                    faulted = 0.0
+                # priority=-1: the capacity flips before any same-time
+                # job event, mirroring the phase and fluid tiers.
+                sim.schedule_at(
+                    event.start, apply_fault, faulted, priority=-1
+                )
+                sim.schedule_at(
+                    event.end, apply_fault, capacity, priority=-1
+                )
 
         for job in jobs:
             sim.schedule_at(job.run.start_offset, begin_iteration, job)
@@ -437,6 +490,7 @@ class ClusterBackend:
             until=spec.until,
             stagger=float(options.get("stagger", 0.005)),
             gates=spec.gates_dict() or None,
+            faults=spec.faults,
         )
         return RunResult(
             spec_hash=safe_content_hash(spec),

@@ -25,7 +25,9 @@ from .spec import RunResult, RunSpec
 #: Schema version of cache entries; bumped when the layout changes.
 #: v2: results carry canonical job timelines instead of per-backend
 #: iteration lists; older entries self-heal as misses.
-CACHE_VERSION = 2
+#: v3: specs serialize their ``faults`` injection schedule, so hashes
+#: computed before the field existed must not alias faulted runs.
+CACHE_VERSION = 3
 
 
 @dataclass

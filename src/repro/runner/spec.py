@@ -26,6 +26,7 @@ import numpy as np
 from ..core.lifecycle import Gate
 from ..core.timeline import JobTimeline
 from ..errors import ConfigError
+from ..faults.events import InjectionSchedule
 from ..net.phasesim import SimulationResult
 from ..net.topology import Topology
 from ..sim.rng import _stable_hash
@@ -115,6 +116,10 @@ class RunSpec:
         backend_module: Module to import before resolving ``backend`` —
             lets experiment modules register their own backends and
             still execute in spawn-style worker processes.
+        faults: Optional validated perturbation schedule
+            (:class:`repro.faults.InjectionSchedule`); every built-in
+            backend honors it, and ``None`` or an empty schedule leaves
+            the run bit-identical to an unfaulted one.
     """
 
     backend: str
@@ -132,6 +137,7 @@ class RunSpec:
     scenarios: Tuple[ScenarioSpec, ...] = ()
     options: Tuple[Tuple[str, Any], ...] = ()
     backend_module: str = ""
+    faults: Optional[InjectionSchedule] = None
 
     def __post_init__(self) -> None:
         if not self.backend:

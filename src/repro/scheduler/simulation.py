@@ -97,6 +97,7 @@ class ClusterSimulation:
         until: Optional[float] = None,
         stagger: float = 0.005,
         gates: Optional[Dict[str, object]] = None,
+        faults=None,
     ) -> ClusterReport:
         """Simulate all placed jobs under ``policy``.
 
@@ -112,6 +113,12 @@ class ClusterSimulation:
         ``gates`` optionally supplies per-job admission gates (flow
         scheduling), e.g. from a
         :class:`~repro.mechanisms.controller.DeploymentPlan`.
+
+        ``faults`` optionally injects an
+        :class:`repro.faults.InjectionSchedule` of perturbations. A job
+        starved for the whole run (e.g. behind a link that fails until
+        the horizon) reports ``nan`` for its iteration time and
+        slowdown instead of crashing the report.
         """
         gates = gates or {}
         jobs = self.cluster.jobs
@@ -145,6 +152,7 @@ class ClusterSimulation:
                     start_offset=index * stagger,
                     gate=gates.get(job.job_id),
                 )
+        sim.install_faults(faults)
         report = ClusterReport(policy_name=policy.name)
         result = sim.run(until=until) if len(local_jobs) < len(jobs) else None
         for job in jobs:
@@ -156,9 +164,16 @@ class ClusterSimulation:
                 assert result is not None
                 timeline = result.timeline(job.job_id)
                 report.timelines[job.job_id] = timeline
-                mean_s = timeline.mean_iteration_time(
-                    skip=warmup_iterations
-                )
+                try:
+                    mean_s = timeline.mean_iteration_time(
+                        skip=warmup_iterations
+                    )
+                except SimulationError:
+                    # Starved job (zero post-warmup iterations, e.g. a
+                    # link failure spanning the horizon): the timeline
+                    # stays well-formed and empty; the report carries
+                    # nan rather than crashing.
+                    mean_s = float("nan")
             report.iteration_ms[job.job_id] = to_milliseconds(mean_s)
             report.slowdown[job.job_id] = mean_s / solo_s
         return report

@@ -26,6 +26,7 @@ KIND_RATE = "rate.change"
 KIND_CC_RATE = "cc.rate"
 KIND_PLACEMENT = "scheduler.place"
 KIND_SOLVE = "solve.outcome"
+KIND_FAULT = "fault.window"
 
 
 class TraceRecord:

@@ -8,6 +8,8 @@ on: asking for a mean/median with ``skip`` >= completed iterations
 raises :class:`SimulationError` on every tier's timeline.
 """
 
+import math
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,7 @@ from repro.cc.fair import FairSharing
 from repro.core.lifecycle import JobLifecycle, JobState, OnOffSource
 from repro.core.timeline import IterationSample, JobTimeline
 from repro.errors import ConfigError, SimulationError, WorkloadError
+from repro.faults import InjectionSchedule, LinkFailure
 from repro.net.routing import Router
 from repro.net.topology import Topology
 from repro.runner import RunSpec, ScenarioSpec, SenderSpec, execute
@@ -450,3 +453,114 @@ class TestAimdOnOffJobs:
         ).run(FairSharing(), n_iterations=5, warmup_iterations=1)
         assert isinstance(report.timelines["J1"], JobTimeline)
         assert len(report.timelines["J1"]) == 5
+
+
+#: A link failure spanning far past any horizon used below: every job
+#: behind it completes zero iterations.
+STARVE = InjectionSchedule(events=(LinkFailure("L1", 0.0, 100.0),))
+
+
+class TestStarvedJobsAcrossTiers:
+    """A job starved for the whole run must not crash or hang.
+
+    The contract across every tier: the timeline comes back as a
+    well-formed *empty* :class:`JobTimeline` and asking for a mean
+    raises the canonical "no iterations after skip" error — the same
+    one the warmup-skip path raises — rather than a crash, a division
+    by zero, or an unbounded simulation loop.
+    """
+
+    def check_empty(self, timeline):
+        assert isinstance(timeline, JobTimeline)
+        assert len(timeline) == 0
+        assert timeline.iterations == 0
+        assert list(timeline) == []
+        with pytest.raises(SimulationError, match="after skip"):
+            timeline.mean_iteration_time(skip=0)
+
+    def test_phase_backend(self):
+        spec = RunSpec(
+            backend="phase",
+            seed=0,
+            jobs=(JobSpec("J1", ms(10), ms(5) * CAP),),
+            policy=FairSharing(),
+            n_iterations=3,
+            capacity=CAP,
+            until=0.5,
+            faults=STARVE,
+        )
+        self.check_empty(execute(spec).timelines()["J1"])
+
+    def test_engine_backend(self):
+        spec = RunSpec(
+            backend="engine",
+            seed=0,
+            jobs=(JobSpec("J1", ms(10), ms(5) * CAP),),
+            policy=FairSharing(),
+            n_iterations=3,
+            capacity=CAP,
+            until=0.5,
+            faults=STARVE,
+        )
+        self.check_empty(execute(spec).timelines()["J1"])
+
+    @pytest.mark.parametrize("engine", ["scalar", "vector"])
+    def test_fluid_backend(self, engine):
+        spec = RunSpec(
+            backend="fluid",
+            seed=0,
+            capacity=gbps(50),
+            duration=0.03,
+            options=(("dt", 20e-6), ("engine", engine)),
+            scenarios=(
+                ScenarioSpec(
+                    "only",
+                    (
+                        SenderSpec(
+                            "J1",
+                            125e-6,
+                            compute_time=0.002,
+                            comm_bytes=gbps(50) * 0.001,
+                        ),
+                    ),
+                ),
+            ),
+            faults=STARVE,
+        )
+        self.check_empty(execute(spec).timelines()["J1"])
+
+    @pytest.mark.parametrize("engine", ["scalar", "vector"])
+    def test_aimd_simulator(self, engine):
+        sim = AimdFluidSimulator(
+            capacity=gbps(50), dt=20e-6, engine=engine, faults=STARVE
+        )
+        sim.add_job(
+            "J1", compute_time=0.002, comm_bytes=gbps(50) * 0.001,
+            params=AimdParams(line_rate=gbps(50), min_rate=gbps(10)),
+        )
+        result = sim.run(0.05)
+        self.check_empty(result.timeline("J1"))
+        with pytest.raises(SimulationError, match="after skip"):
+            result.mean_iteration_time("J1", skip=0)
+
+    def test_cluster_backend_reports_nan(self):
+        topology = Topology.leaf_spine(
+            n_racks=2, hosts_per_rack=1, n_spines=1,
+            host_capacity=CAP, uplink_capacity=CAP,
+        )
+        cluster = ClusterState(topology)
+        cluster.place(
+            JobSpec("J1", ms(10), ms(5) * CAP, n_workers=2),
+            ("h0_0", "h1_0"),
+        )
+        faults = InjectionSchedule(
+            events=(LinkFailure("h0_0->tor0", 0.0, 100.0),)
+        )
+        report = ClusterSimulation(cluster, reference_capacity=CAP).run(
+            FairSharing(), n_iterations=3, warmup_iterations=1,
+            until=0.5, faults=faults,
+        )
+        self.check_empty(report.timelines["J1"])
+        # The report degrades to nan instead of crashing.
+        assert math.isnan(report.iteration_ms["J1"])
+        assert math.isnan(report.slowdown["J1"])
