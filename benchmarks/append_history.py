@@ -1,0 +1,122 @@
+"""Append benchmark medians to the in-repo perf history.
+
+ROADMAP item 4 wants perf regressions "visible in-repo, not just in CI
+artifacts": every bench run writes ``BENCH_<name>.json`` files (see
+``conftest.py``), and this script folds their medians — plus each
+benchmark's ``extra_info`` figures (speedups, jobs/day, ...) — into
+``bench_history.json`` at the repo root, keyed by commit.
+
+Usage (from the repo root, after a bench run)::
+
+    python benchmarks/append_history.py [--artifacts-dir bench-artifacts]
+                                        [--history bench_history.json]
+                                        [--commit SHA]
+
+The commit defaults to ``$GITHUB_SHA`` (set in CI) or ``git rev-parse
+--short HEAD``. Re-running for the same commit replaces that commit's
+entries instead of duplicating them, so the CI bench legs can invoke it
+idempotently and developers can refresh their PR's row before pushing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+PREFIX = "BENCH_"
+
+
+def resolve_commit(explicit: str | None) -> str:
+    """``--commit`` > ``$GITHUB_SHA`` > ``git rev-parse --short HEAD``."""
+    if explicit:
+        return explicit
+    env = os.environ.get("GITHUB_SHA")
+    if env:
+        return env[:12]
+    out = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def load_artifacts(artifacts_dir: Path) -> list[dict]:
+    """One record per ``BENCH_*.json``: name, median, extra_info."""
+    records = []
+    for path in sorted(artifacts_dir.glob(f"{PREFIX}*.json")):
+        with open(path) as handle:
+            data = json.load(handle)
+        records.append(
+            {
+                "bench": path.stem[len(PREFIX):],
+                "median_s": data.get("median"),
+                "extra": dict(data.get("extra_info") or {}),
+            }
+        )
+    return records
+
+
+def append(history_path: Path, commit: str, records: list[dict]) -> dict:
+    """Merge ``records`` under ``commit``; returns the updated history."""
+    if history_path.exists():
+        with open(history_path) as handle:
+            history = json.load(handle)
+    else:
+        history = {
+            "comment": (
+                "Benchmark medians per commit; appended by "
+                "benchmarks/append_history.py from BENCH_*.json artifacts."
+            ),
+            "entries": [],
+        }
+    kept = [
+        entry
+        for entry in history["entries"]
+        if not (
+            entry["commit"] == commit
+            and any(entry["bench"] == record["bench"] for record in records)
+        )
+    ]
+    for record in records:
+        kept.append({"commit": commit, **record})
+    history["entries"] = kept
+    with open(history_path, "w") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return history
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifacts-dir", default="bench-artifacts")
+    parser.add_argument("--history", default="bench_history.json")
+    parser.add_argument("--commit", default=None)
+    args = parser.parse_args(argv)
+
+    artifacts_dir = Path(args.artifacts_dir)
+    records = load_artifacts(artifacts_dir)
+    if not records:
+        print(
+            f"error: no {PREFIX}*.json artifacts under {artifacts_dir}/ "
+            "(run `pytest benchmarks/ --benchmark-only` first)",
+            file=sys.stderr,
+        )
+        return 1
+    commit = resolve_commit(args.commit)
+    history = append(Path(args.history), commit, records)
+    names = ", ".join(record["bench"] for record in records)
+    print(
+        f"{args.history}: {len(history['entries'])} entries "
+        f"({len(records)} appended @ {commit}: {names})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from .experiments import (
     figure4,
     figure5,
     mechanisms_exp,
+    online,
     robustness,
     scheduler_exp,
     sweep,
@@ -74,6 +75,8 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], None]]] = {
     "table1": ("Table 1 fair vs unfair for five job groups", table1.main),
     "mechanisms": ("S4 mechanisms head-to-head", mechanisms_exp.main),
     "scheduler": ("S4 compatibility-aware placement", scheduler_exp.main),
+    "online": ("online service: arrival-rate x placement sweep",
+               online.main),
     "ablations": ("adaptive CC, sector grid, solver comparison",
                   ablations.main),
     "crossfidelity": ("raw-DCQCN validation of the phase model",

@@ -151,7 +151,7 @@ class ClusterCompatibilityProblem:
         methods: List[str] = []
         compatible = True
         for component in self.components():
-            outcome = self._solve_component(component, seed, max_nodes)
+            outcome = self.solve_component(component, seed, max_nodes)
             if outcome is None:
                 compatible = False
                 methods.append("unsat")
@@ -172,15 +172,22 @@ class ClusterCompatibilityProblem:
         )
 
     # ------------------------------------------------------------------
-    # Internals
+    # Component-level API (reused by the incremental engine)
     # ------------------------------------------------------------------
 
-    def _solve_component(
+    def solve_component(
         self,
         component: Sequence[str],
-        seed: int,
-        max_nodes: int,
+        seed: int = 0,
+        max_nodes: int = 200_000,
     ) -> Optional[Tuple[Dict[str, int], str]]:
+        """Solve one connected component: ``(rotations, method)`` or None.
+
+        ``component`` must list the member job ids (sorted order is the
+        canonical form produced by :meth:`components`). A ``None`` return
+        means no zero-overlap rotation assignment was found (the DFS and
+        the annealing fallback both missed).
+        """
         circles = [self._circles[job_id] for job_id in component]
         if len(circles) == 1:
             return {component[0]: 0}, "trivial"
@@ -282,16 +289,23 @@ class ClusterCompatibilityProblem:
             for job_id in component
             for link in self._links_of[job_id]
         }
-        return self._audit_links(links, rotations)
+        return self.audit_links(links, rotations)
 
     def _audit(
         self, rotations: Mapping[str, int]
     ) -> Tuple[int, List[str]]:
-        return self._audit_links(set(self._jobs_on), rotations)
+        return self.audit_links(set(self._jobs_on), rotations)
 
-    def _audit_links(
+    def audit_links(
         self, links: Set[str], rotations: Mapping[str, int]
     ) -> Tuple[int, List[str]]:
+        """Overlap ticks and violated links for fixed ``rotations``.
+
+        Audits each link's unified circle independently (a link with
+        fewer than two sharers can never overlap). Returns
+        ``(total_overlap, violated_link_names)`` with the violated list
+        in sorted link order.
+        """
         total = 0
         violated: List[str] = []
         for link in sorted(links):

@@ -18,6 +18,7 @@ Table 1   five groups, fair vs unfair, verdicts      :mod:`.table1`
 §4 (ii)   switch priority queues                     :mod:`.mechanisms_exp`
 §4 (iii)  precise flow scheduling                    :mod:`.mechanisms_exp`
 §4-§5     compatibility-aware placement              :mod:`.scheduler_exp`
+§4-§5     online service, arrival-rate sweep         :mod:`.online`
 (valid.)  raw-DCQCN cross-fidelity check             :mod:`.crossfidelity`
 §5        cluster-level / multi-tenancy / tuning     :mod:`.extensions`
 (survey)  population compatibility sweep             :mod:`.sweep`
@@ -34,6 +35,7 @@ from . import (
     table1,
     ablations,
     mechanisms_exp,
+    online,
     scheduler_exp,
     crossfidelity,
     extensions,
@@ -50,6 +52,7 @@ __all__ = [
     "table1",
     "ablations",
     "mechanisms_exp",
+    "online",
     "scheduler_exp",
     "crossfidelity",
     "extensions",

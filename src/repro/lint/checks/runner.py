@@ -29,6 +29,7 @@ _SIMULATOR_NAMES = {
     "DcqcnFluidSimulator",
     "AimdFluidSimulator",
     "ClusterSimulation",
+    "ClusterService",
     "Simulator",
 }
 

@@ -92,6 +92,7 @@ class Topology:
     def __init__(self) -> None:
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
+        self._rack_cache: Optional[Dict[str, str]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -133,6 +134,7 @@ class Topology:
         if bidirectional and (b, a) not in self._links:
             reverse_name = f"{name}_rev" if name else ""
             self._links[(b, a)] = Link(b, a, capacity, name=reverse_name)
+        self._rack_cache = None
         return forward
 
     # ------------------------------------------------------------------
@@ -285,11 +287,23 @@ class Topology:
         return topo
 
     def rack_of(self, host: str) -> Optional[str]:
-        """Return the ToR a host attaches to, or ``None``."""
+        """Return the ToR a host attaches to, or ``None``.
+
+        Memoized: placement policies call this for every host on every
+        decision, and a linear link scan per call dominates large-fabric
+        runs. ``add_link`` invalidates the cache.
+        """
         node = self.node(host)
         if node.kind is not NodeKind.HOST:
             return None
-        for (src, dst) in self._links:
-            if src == host and self._nodes[dst].kind is NodeKind.TOR:
-                return dst
-        return None
+        cache = self._rack_cache
+        if cache is None:
+            cache = {}
+            for (src, dst) in self._links:
+                if (
+                    self._nodes[src].kind is NodeKind.HOST
+                    and self._nodes[dst].kind is NodeKind.TOR
+                ):
+                    cache.setdefault(src, dst)
+            self._rack_cache = cache
+        return cache.get(host)

@@ -12,6 +12,8 @@ Built-in backends adapt the library's three simulators:
   for sanity-checking the phase backend and for very large sweeps.
 * ``cluster`` — :class:`repro.scheduler.simulation.ClusterSimulation`
   over a declarative list of placements (the scheduler experiments).
+* ``service`` — :class:`repro.scheduler.service.ClusterService` over a
+  declarative arrival process (the online scheduling experiments).
 
 Experiment modules may :func:`register` additional backends (e.g. the
 population-sweep point evaluator). A spec's ``backend_module`` names the
@@ -509,7 +511,32 @@ class ClusterBackend:
         )
 
 
+# ---------------------------------------------------------------------------
+# service
+# ---------------------------------------------------------------------------
+
+class ServiceBackend:
+    """Adapter for the online cluster service.
+
+    The spec describes an arrival process (Poisson knobs or explicit
+    trace rows riding ``options``), a placement policy by name and a
+    topology recipe; :func:`repro.scheduler.service.run_service_spec`
+    builds the cluster, streams the arrivals through a
+    :class:`~repro.scheduler.service.ClusterService` and returns plain
+    counts/rates/records — wall-clock placement latency goes only to
+    telemetry, never into the (cacheable) result data.
+    """
+
+    name = "service"
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        from ..scheduler.service import run_service_spec
+
+        return run_service_spec(spec)
+
+
 register(PhaseBackend.name, PhaseBackend(), replace=True)
 register(FluidBackend.name, FluidBackend(), replace=True)
 register(EngineBackend.name, EngineBackend(), replace=True)
 register(ClusterBackend.name, ClusterBackend(), replace=True)
+register(ServiceBackend.name, ServiceBackend(), replace=True)

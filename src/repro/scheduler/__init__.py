@@ -10,7 +10,11 @@ provides:
   consolidated (locality-first, Themis-style) and compatibility-aware.
 * :mod:`repro.scheduler.simulation` — runs the placed cluster in the
   phase-level simulator and reports per-job slowdown versus solo.
-* :mod:`repro.scheduler.events` — dynamic arrivals for queueing studies.
+* :mod:`repro.scheduler.service` — the online cluster service: an
+  event-driven scheduler over arrivals, departures and queued retries,
+  backed by the incremental compatibility engine.
+* :mod:`repro.scheduler.events` — batch replay facade and arrival
+  schedules for queueing studies.
 """
 
 from .cluster import ClusterState, PlacedJob
@@ -23,6 +27,7 @@ from .placement import (
 from .simulation import ClusterSimulation, ClusterReport
 from .events import JobArrival, arrival_schedule
 from .grouping import GroupingResult, LinkGroup, group_jobs
+from .service import AdmissionRecord, ClusterService, ServiceStats
 
 __all__ = [
     "ClusterState",
@@ -38,4 +43,7 @@ __all__ = [
     "GroupingResult",
     "LinkGroup",
     "group_jobs",
+    "AdmissionRecord",
+    "ClusterService",
+    "ServiceStats",
 ]

@@ -65,6 +65,12 @@ class ClusterState:
             host.name: gpus_per_host for host in topology.hosts()
         }
         self._jobs: Dict[str, PlacedJob] = {}
+        # The rack grouping is static (the topology doesn't change under
+        # a live cluster) but queried on every placement decision.
+        self._racks: Dict[str, List[str]] = {}
+        for host in topology.hosts():
+            rack = topology.rack_of(host.name) or "_norack"
+            self._racks.setdefault(rack, []).append(host.name)
 
     # ------------------------------------------------------------------
     # Capacity queries
@@ -83,11 +89,7 @@ class ClusterState:
 
     def hosts_by_rack(self) -> Dict[str, List[str]]:
         """Hosts grouped by their ToR (rack), insertion-ordered."""
-        racks: Dict[str, List[str]] = {}
-        for host in self.topology.hosts():
-            rack = self.topology.rack_of(host.name) or "_norack"
-            racks.setdefault(rack, []).append(host.name)
-        return racks
+        return {rack: list(hosts) for rack, hosts in self._racks.items()}
 
     # ------------------------------------------------------------------
     # Job lifecycle

@@ -1,10 +1,22 @@
-"""Dynamic job arrivals and departures.
+"""Dynamic job arrivals and departures (legacy replay facade).
 
-A lightweight queueing layer over :class:`~repro.scheduler.cluster.
-ClusterState`: jobs arrive on a Poisson process, are placed by a policy
-(or rejected), and leave after a lifetime. :func:`replay` records, at each
-arrival, whether the placement kept every shared link fully compatible —
-the statistic the paper's §4 placement argument is about.
+Historically this module owned a small ad-hoc replay loop; the online
+scheduler now lives in :mod:`repro.scheduler.service` as the event-driven
+:class:`~repro.scheduler.service.ClusterService`, and :func:`replay` here
+is a thin shim over it kept for its simple batch-style interface.
+
+Two behavioural notes versus the original loop:
+
+* The compatibility audit is now **cluster-wide**: each admission is
+  judged by whether a single rotation per job can satisfy *every* link of
+  the job's connected component (the §5 criterion, via the incremental
+  engine), not by checking each link's sharer set independently. The
+  per-link audit was necessary but not sufficient — a job can be pairwise
+  feasible on each link separately yet have no single phase satisfying
+  both; ``tests/test_scheduler_service.py`` pins a fixture where the two
+  audits disagree.
+* Event ordering is unchanged: a departure at exactly an arrival's time
+  frees capacity first (the old ``depart_time <= arrival.time`` sweep).
 """
 
 from __future__ import annotations
@@ -13,21 +25,17 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..core.compatibility import CompatibilityChecker
-from ..errors import PlacementError
 from ..workloads.generator import WorkloadGenerator
-from ..workloads.job import JobSpec
+from ..workloads.traces import JobArrival
 from .cluster import ClusterState
 from .placement import PlacementPolicy
 
-
-@dataclass(frozen=True)
-class JobArrival:
-    """One job arriving at ``time`` and departing at ``time + lifetime``."""
-
-    time: float
-    spec: JobSpec
-    n_workers: int
-    lifetime: float
+__all__ = [
+    "JobArrival",
+    "ReplayStats",
+    "arrival_schedule",
+    "replay",
+]
 
 
 def arrival_schedule(
@@ -59,11 +67,13 @@ class ReplayStats:
     Attributes:
         placed: Jobs successfully placed.
         rejected: Jobs that did not fit.
-        compatible_placements: Placements where every shared link stayed
-            fully compatible (rack-local placements count — they share no
-            link).
-        incompatible_placements: Placements that created at least one
-            incompatible link.
+        compatible_placements: Placements whose connected component stayed
+            cluster-compatible (rack-local placements count — they share
+            no link).
+        incompatible_placements: Placements whose component admitted no
+            zero-overlap rotation assignment.
+        incompatible_links: Violated links recorded at each incompatible
+            placement, in admission order.
     """
 
     placed: int = 0
@@ -86,45 +96,30 @@ def replay(
     arrivals: Sequence[JobArrival],
     checker: Optional[CompatibilityChecker] = None,
 ) -> ReplayStats:
-    """Apply arrivals/departures in time order and audit compatibility."""
-    checker = checker if checker is not None else CompatibilityChecker()
-    stats = ReplayStats()
-    departures: List[tuple[float, str]] = []
-    for arrival in sorted(arrivals, key=lambda a: a.time):
-        # Free any jobs that completed before this arrival.
-        still_running = []
-        for depart_time, job_id in departures:
-            if depart_time <= arrival.time:
-                cluster.remove(job_id)
-            else:
-                still_running.append((depart_time, job_id))
-        departures = still_running
+    """Apply arrivals/departures in time order and audit compatibility.
 
-        try:
-            hosts = policy.place(cluster, arrival.spec, arrival.n_workers)
-        except PlacementError:
-            stats.rejected += 1
-            continue
-        cluster.place(arrival.spec, hosts)
-        departures.append(
-            (arrival.time + arrival.lifetime, arrival.spec.job_id)
-        )
-        stats.placed += 1
+    Delegates to :class:`~repro.scheduler.service.ClusterService` with a
+    zero-length admission queue, so jobs that do not fit are rejected
+    immediately — the original replay semantics.
+    """
+    from .service import ClusterService
 
-        # Audit: did this placement keep all its links compatible?
-        job = cluster.job(arrival.spec.job_id)
-        clean = True
-        for link_name, sharers in cluster.jobs_sharing_links_with(
-            job.links
-        ).items():
-            specs = [j.spec for j in sharers if j.uses_network]
-            if len(specs) < 2:
-                continue
-            if not checker.check(specs).compatible:
-                clean = False
-                stats.incompatible_links.append(link_name)
-        if clean:
-            stats.compatible_placements += 1
-        else:
-            stats.incompatible_placements += 1
+    service = ClusterService(
+        cluster, policy, checker=checker, queue_limit=0
+    )
+    ordered = sorted(arrivals, key=lambda a: a.time)
+    service.submit_all(ordered)
+    # Stop at the last arrival: like the original sweep, jobs outliving
+    # it stay placed in ``cluster`` for the caller to inspect.
+    until = ordered[-1].time if ordered else None
+    outcome = service.run(until=until)
+    stats = ReplayStats(
+        placed=outcome.admitted,
+        rejected=outcome.rejected,
+        compatible_placements=outcome.compatible_admissions,
+        incompatible_placements=outcome.incompatible_admissions,
+    )
+    for record in outcome.records:
+        if record.outcome == "admitted" and record.compatible is False:
+            stats.incompatible_links.extend(record.violated)
     return stats

@@ -137,6 +137,7 @@ class CompatibilityAwarePlacement(PlacementPolicy):
         checker: Optional[CompatibilityChecker] = None,
         max_candidates: int = 16,
         cluster_level: bool = False,
+        engine=None,
     ) -> None:
         """Create the policy.
 
@@ -150,12 +151,20 @@ class CompatibilityAwarePlacement(PlacementPolicy):
                 ClusterCompatibilityProblem`); the default checks each
                 link independently, which is necessary but not
                 sufficient when jobs span several contended links.
+            engine: Optional :class:`repro.core.incremental.
+                IncrementalCompatibilityEngine` tracking the live
+                cluster. When set, candidates are scored against the
+                engine's cached feasible sets (cluster-level by
+                construction, no per-candidate solver calls);
+                :class:`repro.scheduler.service.ClusterService` injects
+                its own engine here automatically.
         """
         if max_candidates < 1:
             raise PlacementError("max_candidates must be >= 1")
         self.checker = checker if checker is not None else CompatibilityChecker()
         self.max_candidates = max_candidates
         self.cluster_level = cluster_level
+        self.engine = engine
 
     def place(
         self, cluster: ClusterState, spec: JobSpec, n_workers: int
@@ -234,6 +243,11 @@ class CompatibilityAwarePlacement(PlacementPolicy):
         links = cluster.router.route(
             hosts[0], hosts[-1], flow_label=spec.job_id
         )
+        if self.engine is not None:
+            return self.engine.candidate_score(
+                self.engine.circle(spec),
+                [link.name for link in links],
+            )
         sharing = cluster.jobs_sharing_links_with(links)
         worst_overlap = 0.0
         all_compatible = True

@@ -44,12 +44,16 @@ class ClusterReport:
 
     @property
     def mean_slowdown(self) -> float:
-        """Average slowdown across jobs."""
+        """Average slowdown across jobs (NaN for an empty report)."""
+        if not self.slowdown:
+            return float("nan")
         return float(np.mean(list(self.slowdown.values())))
 
     @property
     def max_slowdown(self) -> float:
-        """Worst job's slowdown."""
+        """Worst job's slowdown (NaN for an empty report)."""
+        if not self.slowdown:
+            return float("nan")
         return float(max(self.slowdown.values()))
 
     @property

@@ -1,17 +1,41 @@
-"""On-off network demand traces.
+"""On-off network demand traces and online arrival processes.
 
 Figure 3a of the paper shows a job's time-series network demand — the
 periodic on-off square wave that the geometric abstraction rolls around a
 circle. :func:`demand_trace` produces that signal for a
 :class:`~repro.workloads.job.JobSpec` running solo, as a
 :class:`~repro.sim.trace.StepFunction` of demanded rate.
+
+The online cluster service (ROADMAP item 3) additionally needs *arrival
+processes*: streams of :class:`JobArrival` events feeding
+:class:`repro.scheduler.service.ClusterService`. Two generators cover the
+standard modelling choices:
+
+* :func:`poisson_arrivals` — Poisson arrivals with exponential, Pareto
+  (heavy-tailed, the empirical cluster-trace shape) or fixed lifetimes.
+  Iteration times are drawn from a small grid of whole-millisecond
+  periods so unified-circle LCMs stay exact and affordable — the same
+  profiling-granularity argument as
+  :class:`~repro.workloads.generator.WorkloadGenerator`.
+* :func:`trace_arrivals` — replay explicit rows (e.g. from a recorded
+  production trace), with :func:`arrival_to_row` as the inverse so
+  schedules round-trip through the runner's spec options.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
 from ..errors import WorkloadError
+from ..sim.rng import RandomStreams
 from ..sim.trace import StepFunction
+from ..units import gbps, milliseconds
 from .job import JobSpec
+
+#: Whole-millisecond iteration periods with a small joint LCM (7.2 s),
+#: keeping exact unified-circle arithmetic cheap at thousands of jobs.
+DEFAULT_PERIOD_GRID_MS: Tuple[int, ...] = (240, 300, 360, 400, 480, 600)
 
 
 def demand_trace(
@@ -39,3 +63,162 @@ def demand_trace(
         trace.set(comm_start + comm_time, 0.0)
         cursor = comm_start + comm_time
     return trace
+
+
+# ---------------------------------------------------------------------------
+# Online arrival processes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job arriving at ``time`` and departing at ``time + lifetime``."""
+
+    time: float
+    spec: JobSpec
+    n_workers: int
+    lifetime: float
+
+
+def poisson_arrivals(
+    count: int,
+    seed: int = 0,
+    mean_interarrival_s: float = 60.0,
+    mean_lifetime_s: float = 600.0,
+    lifetime_model: str = "exponential",
+    pareto_shape: float = 2.5,
+    capacity: float = gbps(42),
+    period_grid_ms: Sequence[int] = DEFAULT_PERIOD_GRID_MS,
+    comm_fraction_range: Tuple[float, float] = (0.1, 0.45),
+    worker_choices: Sequence[int] = (2, 4, 8),
+    prefix: str = "dyn",
+) -> List[JobArrival]:
+    """Draw a Poisson arrival stream with randomized job shapes.
+
+    Args:
+        count: Number of arrivals.
+        seed: Seeds three independent :class:`RandomStreams` substreams
+            (arrival gaps, job shapes, lifetimes), so each marginal is
+            stable under parameter changes to the others.
+        mean_interarrival_s: Mean gap of the exponential arrival process.
+        mean_lifetime_s: Mean job lifetime in seconds.
+        lifetime_model: ``"exponential"``, ``"pareto"`` (heavy-tailed
+            Lomax with the given shape — production traces show a few
+            huge jobs dominating GPU-hours) or ``"fixed"``.
+        pareto_shape: Lomax shape ``> 1`` (smaller = heavier tail).
+        capacity: Profiling bandwidth converting comm time to bytes.
+        period_grid_ms: Whole-ms iteration periods to draw from.
+        comm_fraction_range: Uniform range of per-job comm fraction.
+        worker_choices: Worker counts to draw from.
+        prefix: Job ids become ``{prefix}-0``, ``{prefix}-1``, ...
+
+    Returns:
+        Arrivals in non-decreasing time order.
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    if mean_interarrival_s <= 0 or mean_lifetime_s <= 0:
+        raise WorkloadError("mean interarrival and lifetime must be > 0")
+    if lifetime_model not in ("exponential", "pareto", "fixed"):
+        raise WorkloadError(f"unknown lifetime model {lifetime_model!r}")
+    if lifetime_model == "pareto" and pareto_shape <= 1.0:
+        raise WorkloadError("pareto_shape must be > 1 for a finite mean")
+    if not period_grid_ms:
+        raise WorkloadError("period_grid_ms must be non-empty")
+    frac_low, frac_high = comm_fraction_range
+    if not 0 < frac_low < frac_high < 1:
+        raise WorkloadError(
+            "comm_fraction_range must satisfy 0 < low < high < 1"
+        )
+    streams = RandomStreams(seed)
+    gap_rng = streams.get("arrival-gaps")
+    shape_rng = streams.get("arrival-shapes")
+    life_rng = streams.get("arrival-lifetimes")
+    periods = sorted(int(p) for p in period_grid_ms)
+    workers = sorted(int(w) for w in worker_choices)
+    arrivals: List[JobArrival] = []
+    clock = 0.0
+    for index in range(count):
+        clock += float(gap_rng.exponential(mean_interarrival_s))
+        period_ms = periods[int(shape_rng.integers(len(periods)))]
+        fraction = float(shape_rng.uniform(frac_low, frac_high))
+        # Whole-ms comm phases keep circles exactly on the period grid.
+        comm_ms = min(max(round(period_ms * fraction), 1), period_ms - 1)
+        n_workers = workers[int(shape_rng.integers(len(workers)))]
+        if lifetime_model == "exponential":
+            lifetime = float(life_rng.exponential(mean_lifetime_s))
+        elif lifetime_model == "pareto":
+            scale = mean_lifetime_s * (pareto_shape - 1.0)
+            lifetime = float(life_rng.pareto(pareto_shape)) * scale
+        else:
+            lifetime = mean_lifetime_s
+        spec = JobSpec(
+            job_id=f"{prefix}-{index}",
+            compute_time=milliseconds(period_ms - comm_ms),
+            comm_bytes=milliseconds(comm_ms) * capacity,
+            n_workers=n_workers,
+        )
+        arrivals.append(
+            JobArrival(
+                time=clock,
+                spec=spec,
+                n_workers=n_workers,
+                lifetime=max(lifetime, 1e-6),
+            )
+        )
+    return arrivals
+
+
+Row = Mapping[str, Union[float, int, JobSpec]]
+
+
+def trace_arrivals(rows: Sequence[Row]) -> List[JobArrival]:
+    """Build an arrival schedule from explicit trace rows.
+
+    Each row is a mapping with ``time`` (seconds), ``lifetime``
+    (seconds), ``job`` (a :class:`JobSpec`) and optionally
+    ``n_workers`` (defaults to the spec's worker count). Rows may come
+    from a recorded production trace or from ``arrival_to_row``; the
+    result is sorted by ``(time, job_id)``.
+    """
+    arrivals: List[JobArrival] = []
+    for index, row in enumerate(rows):
+        try:
+            time = float(row["time"])
+            lifetime = float(row["lifetime"])
+            spec = row["job"]
+        except (KeyError, TypeError) as exc:
+            raise WorkloadError(
+                f"trace row {index} needs time/lifetime/job: {exc}"
+            ) from None
+        if not isinstance(spec, JobSpec):
+            raise WorkloadError(
+                f"trace row {index}: job must be a JobSpec, "
+                f"got {type(spec).__name__}"
+            )
+        if time < 0:
+            raise WorkloadError(f"trace row {index}: time must be >= 0")
+        if lifetime <= 0:
+            raise WorkloadError(f"trace row {index}: lifetime must be > 0")
+        n_workers = int(row.get("n_workers", spec.n_workers))
+        arrivals.append(
+            JobArrival(
+                time=time, spec=spec, n_workers=n_workers, lifetime=lifetime
+            )
+        )
+    arrivals.sort(key=lambda a: (a.time, a.spec.job_id))
+    return arrivals
+
+
+def arrival_to_row(arrival: JobArrival) -> Dict[str, Union[float, int, JobSpec]]:
+    """Inverse of :func:`trace_arrivals` for one arrival.
+
+    The ``job`` value is a :class:`JobSpec`, which the runner's option
+    codec serializes natively — so whole schedules can ride inside
+    ``RunSpec.options`` and hash/cache deterministically.
+    """
+    return {
+        "time": arrival.time,
+        "lifetime": arrival.lifetime,
+        "n_workers": arrival.n_workers,
+        "job": arrival.spec,
+    }

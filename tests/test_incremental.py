@@ -1,0 +1,258 @@
+"""Tests for the incremental compatibility engine (core/incremental).
+
+The load-bearing property is *metamorphic equivalence*: after any
+sequence of arrivals and departures, ``engine.solve()`` must be
+indistinguishable — verdict, rotations, overlap, violated links,
+components, method string — from building a fresh
+``ClusterCompatibilityProblem`` out of the same snapshot and solving it
+from scratch.
+"""
+
+import pytest
+
+from repro.core.circle import JobCircle
+from repro.core.cluster_compat import ClusterCompatibilityProblem
+from repro.core.compatibility import CompatibilityChecker
+from repro.core.incremental import IncrementalCompatibilityEngine
+from repro.errors import CompatibilityError
+from repro.sim.rng import RandomStreams
+from repro.units import gbps
+from repro.workloads.job import JobSpec
+
+
+def quarter_circle(job_id, perimeter=400, comm=100, phase=0):
+    """One job communicating ``comm`` of every ``perimeter`` ticks."""
+    return JobCircle.from_arcs(job_id, perimeter, [(phase, comm)])
+
+
+def fresh_result(engine, seed=0):
+    circles = {job_id: None for job_id in engine.jobs}
+    problem = ClusterCompatibilityProblem.from_assignments(
+        [engine._circles[j] for j in sorted(circles)],
+        {j: list(engine.links_of(j)) for j in sorted(circles)},
+    )
+    return problem.solve(seed=seed)
+
+
+def assert_matches_scratch(engine, seed=0):
+    got = engine.solve()
+    want = fresh_result(engine, seed=seed)
+    assert got.compatible == want.compatible
+    assert got.rotations == want.rotations
+    assert got.overlap_ticks == want.overlap_ticks
+    assert got.violated_links == want.violated_links
+    assert got.components == want.components
+    assert got.method == want.method
+
+
+class TestEngineBasics:
+    def test_empty_engine_is_compatible(self):
+        engine = IncrementalCompatibilityEngine()
+        assert engine.cluster_compatible
+        assert engine.solve().compatible
+        assert engine.components() == []
+
+    def test_single_job_trivial(self):
+        engine = IncrementalCompatibilityEngine()
+        verdict = engine.add(quarter_circle("a"), ["L0"])
+        assert verdict.compatible
+        assert verdict.component == ("a",)
+        assert engine.rotation_of("a") == 0
+        assert_matches_scratch(engine)
+
+    def test_linkless_job_forms_singleton_component(self):
+        engine = IncrementalCompatibilityEngine()
+        verdict = engine.add(quarter_circle("solo"), [])
+        assert verdict.compatible
+        assert engine.components() == [["solo"]]
+
+    def test_compatible_pair_admitted_by_screen(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a"), ["L0"])
+        verdict = engine.add(quarter_circle("b"), ["L0"])
+        assert verdict.compatible
+        assert verdict.method == "screen"
+        # The running job kept its phase; the newcomer slid around it.
+        assert engine.rotation_of("a") == 0
+        assert engine.rotation_of("b") != 0
+        overlap, violated = engine.live_audit()
+        assert overlap == 0 and violated == []
+        assert_matches_scratch(engine)
+
+    def test_overloaded_link_is_incompatible(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a", comm=250), ["L0"])
+        verdict = engine.add(quarter_circle("b", comm=250), ["L0"])
+        assert not verdict.compatible
+        assert "L0" in verdict.violated_links
+        assert not engine.cluster_compatible
+        assert_matches_scratch(engine)
+
+    def test_duplicate_add_raises(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a"), ["L0"])
+        with pytest.raises(CompatibilityError):
+            engine.add(quarter_circle("a"), ["L1"])
+
+    def test_remove_unknown_raises(self):
+        engine = IncrementalCompatibilityEngine()
+        with pytest.raises(CompatibilityError):
+            engine.remove("ghost")
+
+    def test_coverage_capacity_must_be_one(self):
+        checker = CompatibilityChecker(coverage_capacity=2)
+        with pytest.raises(CompatibilityError):
+            IncrementalCompatibilityEngine(checker=checker)
+
+
+class TestIncrementalBehaviour:
+    def test_try_admit_does_not_commit(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a"), ["L0"])
+        verdict = engine.try_admit(quarter_circle("b"), ["L0"])
+        assert verdict.compatible
+        assert "b" not in engine
+        assert engine.components() == [["a"]]
+
+    def test_untouched_components_served_from_cache(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a"), ["L0"])
+        engine.add(quarter_circle("b"), ["L0"])
+        engine.solve()
+        solves_before = engine.stats()["component_solves"]
+        # A new job on a *different* link must not re-solve {a, b}.
+        engine.add(quarter_circle("c"), ["L9"])
+        engine.solve()
+        after = engine.stats()
+        assert after["component_solves"] == solves_before + 1  # just {c}
+        assert after["component_cache_hits"] >= 1
+
+    def test_repeat_solve_is_fully_cached(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a"), ["L0"])
+        engine.add(quarter_circle("b"), ["L0"])
+        engine.solve()
+        solves = engine.stats()["component_solves"]
+        engine.solve()
+        assert engine.stats()["component_solves"] == solves
+
+    def test_remove_splits_component_without_resolving(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a"), ["L0"])
+        engine.add(quarter_circle("b"), ["L0", "L1"])
+        engine.add(quarter_circle("c"), ["L1"])
+        assert engine.components() == [["a", "b", "c"]]
+        solves = engine.stats()["component_solves"]
+        engine.remove("b")  # bridge job: the component splits in two
+        assert engine.components() == [["a"], ["c"]]
+        # Parent was compatible, so the fragments inherit the verdict.
+        assert engine.stats()["component_solves"] == solves
+        assert engine.cluster_compatible
+        assert_matches_scratch(engine)
+
+    def test_departure_can_clear_congestion(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a", comm=200), ["L0"])
+        engine.add(quarter_circle("b", comm=200), ["L0"])
+        engine.add(quarter_circle("c", comm=200), ["L0"])  # 150% load
+        assert not engine.cluster_compatible
+        engine.remove("c")
+        assert engine.cluster_compatible
+        overlap, _ = engine.live_audit()
+        assert overlap == 0
+        assert_matches_scratch(engine)
+
+    def test_screen_admission_preserves_running_phases(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a"), ["L0"])
+        engine.add(quarter_circle("b"), ["L0"])
+        rotations = engine.live_rotations
+        verdict = engine.add(quarter_circle("c"), ["L0"])
+        assert verdict.method == "screen"
+        for job_id, rotation in rotations.items():
+            assert engine.rotation_of(job_id) == rotation
+
+    def test_candidate_score_clean_vs_congested(self):
+        engine = IncrementalCompatibilityEngine()
+        engine.add(quarter_circle("a"), ["L0"])
+        engine.add(quarter_circle("hog", comm=390), ["L1"])
+        clean, fraction = engine.candidate_score(
+            quarter_circle("new"), ["L0"]
+        )
+        assert clean and fraction == 0.0
+        blocked, fraction = engine.candidate_score(
+            quarter_circle("new"), ["L1"]
+        )
+        assert not blocked
+        assert fraction > 0.5
+
+
+class TestMetamorphicRandomSequences:
+    """Satellite: randomized arrival/departure streams vs from-scratch."""
+
+    PERIODS = (240, 300, 360, 400, 480, 600)
+    LINKS = tuple(f"L{i}" for i in range(5))
+
+    def _spec(self, rng, index):
+        period_ms = self.PERIODS[int(rng.integers(len(self.PERIODS)))]
+        frac = float(rng.uniform(0.1, 0.45))
+        period_s = period_ms / 1000.0
+        return JobSpec(
+            job_id=f"j{index:03d}",
+            compute_time=(1.0 - frac) * period_s,
+            comm_bytes=frac * period_s * gbps(42),
+            n_workers=2,
+        )
+
+    @pytest.mark.parametrize("stream_seed", [7, 21, 99])
+    def test_engine_matches_scratch_after_every_event(self, stream_seed):
+        checker = CompatibilityChecker()
+        engine = IncrementalCompatibilityEngine(checker=checker, seed=0)
+        rng = RandomStreams(stream_seed).get("incremental-events")
+        live = {}
+        for step in range(40):
+            if live and rng.random() < 0.35:
+                job_id = sorted(live)[int(rng.integers(len(live)))]
+                engine.remove(job_id)
+                del live[job_id]
+            else:
+                spec = self._spec(rng, step)
+                circle = checker.circle(spec)
+                n_links = int(rng.integers(1, 3))
+                links = sorted(
+                    {
+                        self.LINKS[int(rng.integers(len(self.LINKS)))]
+                        for _ in range(n_links)
+                    }
+                )
+                engine.add(circle, links)
+                live[spec.job_id] = links
+            got = engine.solve()
+            problem = ClusterCompatibilityProblem.from_assignments(
+                [engine._circles[j] for j in sorted(live)],
+                {j: live[j] for j in sorted(live)},
+            )
+            want = problem.solve(seed=0)
+            assert got.compatible == want.compatible
+            assert got.rotations == want.rotations
+            assert got.overlap_ticks == want.overlap_ticks
+            assert got.violated_links == want.violated_links
+            assert got.components == want.components
+            assert got.method == want.method
+            # Live certificate: a compatible engine audits clean.
+            if engine.cluster_compatible:
+                overlap, violated = engine.live_audit()
+                assert overlap == 0 and violated == []
+
+    def test_sequences_exercise_both_paths(self):
+        """The randomized streams must hit screens AND full solves."""
+        checker = CompatibilityChecker()
+        engine = IncrementalCompatibilityEngine(checker=checker, seed=0)
+        rng = RandomStreams(7).get("incremental-events")
+        for step in range(40):
+            spec = self._spec(rng, step)
+            links = [self.LINKS[step % len(self.LINKS)]]
+            engine.add(checker.circle(spec), links)
+        stats = engine.stats()
+        assert stats["screen_admits"] > 0
+        assert stats["component_solves"] > 0

@@ -252,6 +252,21 @@ class TestZeroEventScheduleIsIdentity:
                     ("warmup_iterations", 1),
                 ),
             ),
+            "service": RunSpec(
+                backend="service",
+                seed=3,
+                capacity=CAP,
+                options=(
+                    ("arrival_process", "poisson"),
+                    ("n_arrivals", 8),
+                    ("mean_interarrival_s", 30.0),
+                    ("mean_lifetime_s", 120.0),
+                    ("placement", "compatibility-aware"),
+                    ("n_racks", 2),
+                    ("hosts_per_rack", 2),
+                    ("gpus_per_host", 4),
+                ),
+            ),
         }
 
     def test_every_builtin_backend_is_covered(self):
@@ -268,7 +283,9 @@ class TestZeroEventScheduleIsIdentity:
         )
         assert sorted(self._specs()) == builtin
 
-    @pytest.mark.parametrize("name", ["cluster", "engine", "fluid", "phase"])
+    @pytest.mark.parametrize(
+        "name", ["cluster", "engine", "fluid", "phase", "service"]
+    )
     def test_empty_schedule_bit_identical_to_none(self, name):
         import json
 
