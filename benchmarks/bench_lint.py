@@ -1,0 +1,43 @@
+"""Perf guard: the two-pass linter over the whole package tree.
+
+The lint job runs on every CI push, so analyzer cost is a developer-
+facing latency budget. This benchmark times a full ``lint_paths`` run
+(index pass + semantic pass, all rules) over ``src/repro`` and records
+the tree size alongside the timing in ``BENCH_lint.json`` so the perf
+trajectory tracks files-per-second, not just wall-clock.
+
+It also cross-checks the parallel index pass: ``jobs=4`` must produce a
+report identical to the serial run (byte-for-byte on the JSON
+document) — determinism is part of the linter's contract, so a perf
+run that diverges is a failure, not a data point.
+"""
+
+from pathlib import Path
+
+from conftest import print_report
+
+import repro
+from repro.lint import lint_paths
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+
+def test_lint(benchmark):
+    """Full-tree two-pass lint; serial timing, jobs=4 parity check."""
+    report = benchmark(lambda: lint_paths([str(PACKAGE_DIR)]))
+
+    parallel = lint_paths([str(PACKAGE_DIR)], jobs=4)
+    assert report.to_dict() == parallel.to_dict()
+    assert report.ok, "the package tree must lint clean"
+
+    benchmark.extra_info["files"] = report.files
+    benchmark.extra_info["findings"] = len(report.findings)
+    benchmark.extra_info["baselined"] = len(report.baselined)
+
+    print_report(
+        "repro-lint full-tree analysis",
+        f"files scanned        {report.files}\n"
+        f"fresh findings       {len(report.findings)}\n"
+        f"baselined findings   {len(report.baselined)}\n"
+        "jobs=4 parity        byte-identical",
+    )

@@ -66,7 +66,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.lifecycle import OnOffSource
-from ..faults.runtime import MODE_FREEZE, MODE_NORMAL, capacity_windows
+from ..faults.runtime import (  # simlint: disable=ARCH001 - vectorized bank replays fault warps inline for bit-equivalence with the scalar tiers
+    MODE_FREEZE,
+    MODE_NORMAL,
+    capacity_windows,
+)
 from ..switches.ecn import RedEcnMarker
 from ..switches.queues import FluidQueue
 from .dcqcn import (

@@ -10,12 +10,14 @@ on the same arcs — which is exactly why the abstraction works.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 from ..errors import GeometryError
 from ..units import TICKS_PER_SECOND, seconds_to_ticks
-from ..workloads.job import JobSpec
 from .arcs import ArcSet
+
+if TYPE_CHECKING:  # annotation-only; `core` must not load `workloads`
+    from ..workloads.job import JobSpec
 
 #: Default quantization for circles built from wall-clock profiles: one
 #: tick per microsecond keeps LCMs exact while staying far below the

@@ -11,14 +11,16 @@ residual overlap when incompatible).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..errors import CompatibilityError
 from ..units import gbps
-from ..workloads.job import JobSpec
 from .circle import JobCircle
 from .optimize import SolverOutcome, solve
 from .unified import UnifiedCircle
+
+if TYPE_CHECKING:  # annotation-only; `core` must not load `workloads`
+    from ..workloads.job import JobSpec
 
 
 @dataclass(frozen=True)

@@ -37,10 +37,18 @@ from __future__ import annotations
 import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..errors import CompatibilityError
-from ..workloads.job import JobSpec
 from .arcs import ArcSet
 from .circle import JobCircle
 from .cluster_compat import (
@@ -49,6 +57,9 @@ from .cluster_compat import (
 )
 from .compatibility import CompatibilityChecker
 from .optimize import exact_pair_feasible_rotations
+
+if TYPE_CHECKING:  # annotation-only; `core` must not load `workloads`
+    from ..workloads.job import JobSpec
 
 #: Canonical component solutions kept in the LRU cache by default.
 DEFAULT_CACHE_ENTRIES = 4096

@@ -17,10 +17,12 @@ matches the estimates in their regimes of validity.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..errors import WorkloadError
-from ..workloads.job import JobSpec
+
+if TYPE_CHECKING:  # annotation-only; `core` must not load `workloads`
+    from ..workloads.job import JobSpec
 
 
 def solo_iteration_time(spec: JobSpec, capacity: float) -> float:

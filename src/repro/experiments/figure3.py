@@ -55,7 +55,7 @@ class Figure3Result:
         Figure 3b observation is that the on-samples all fall inside the
         communication arc.
         """
-        period_s = self.perimeter_ms / TICKS_PER_SECOND
+        period_s = self.perimeter_ms / TICKS_PER_SECOND  # simlint: disable=UNIT002 - this experiment runs the sim at 1 ms ticks, so ms values are tick values
         horizon = self.n_iterations * period_s
         samples = []
         for t in np.arange(0.0, horizon, 0.001):

@@ -14,7 +14,15 @@ UNIT001    magic-unit-factor    conversions go through ``repro.units``
 FP001      float-equality       tolerance helpers, not float ``==``
 PICKLE001  unpicklable-backend  registered backends must pickle
 RUN001     direct-simulator     experiments go through ``RunSpec``
+ARCH001    layer-dag            imports follow the layer DAG, acyclic
+DET004     substream-discipline RNG substream names are owned, unshared
+UNIT002    dimension-mismatch   no seconds+ticks (etc.) arithmetic
 ========== ==================== =======================================
+
+The first seven are per-module rules; the last three run in the
+*semantic pass* over a whole-program index (module graph, symbol
+table, RNG draw sites, dimension flows) built by the index pass —
+see :mod:`repro.lint.project`.
 
 Run it with ``repro-lint`` / ``python -m repro.lint`` / the
 ``repro-experiments lint`` subcommand; suppress one line with
@@ -24,32 +32,50 @@ with examples: ``docs/LINT.md``.
 """
 
 from .baseline import DEFAULT_BASELINE, Baseline
+from .config import LintConfig, load_config
 from .context import ModuleContext
-from .engine import Report, lint_module, lint_paths, lint_source
+from .engine import (
+    Report,
+    lint_module,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 from .findings import Finding, Severity
+from .project import ModuleIndex, ProjectContext, build_module_index
 from .rules import (
+    BaseProjectRule,
     BaseRule,
     Rule,
     all_rules,
     get_rule,
+    is_project_rule,
     register_rule,
     select_rules,
 )
 
 __all__ = [
     "Baseline",
+    "BaseProjectRule",
     "BaseRule",
     "DEFAULT_BASELINE",
     "Finding",
+    "LintConfig",
     "ModuleContext",
+    "ModuleIndex",
+    "ProjectContext",
     "Report",
     "Rule",
     "Severity",
     "all_rules",
+    "build_module_index",
     "get_rule",
+    "is_project_rule",
     "lint_module",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "load_config",
     "register_rule",
     "select_rules",
 ]

@@ -1,3 +1,10 @@
 """The bundled rule set — importing this package registers every rule."""
 
-from . import determinism, runner, units  # noqa: F401
+from . import (  # noqa: F401
+    architecture,
+    determinism,
+    dimensions,
+    rng_streams,
+    runner,
+    units,
+)

@@ -1,0 +1,80 @@
+"""UNIT002: dimensional-unit inference, within and across modules.
+
+UNIT001 bans *anonymous conversion factors*; UNIT002 goes after the bug
+it cannot see — arithmetic that mixes values of different dimensions
+with no conversion at all (a tick-valued integer added to a
+seconds-valued float survives UNIT001 untouched and corrupts every
+tier-equivalence comparison downstream).
+
+The heavy lifting happens in the index pass
+(:mod:`repro.lint.dimflow`): each module is abstractly interpreted once
+and distilled into intra-module violations, parameter-name dimension
+conventions, and resolved call sites with inferred argument dimensions.
+This rule re-emits the intra-module findings and joins the call sites
+against the project-wide function table, so passing a ticks value to a
+``*_s`` parameter is flagged even when caller and callee live in
+different packages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dimflow import DIMENSIONS
+from ..findings import Finding, Severity
+from ..rules import BaseProjectRule, register_rule
+
+
+@register_rule
+class DimensionMismatchRule(BaseProjectRule):
+    """UNIT002: mismatched dimensions in arithmetic and call edges."""
+
+    code = "UNIT002"
+    name = "dimension-mismatch"
+    severity = Severity.ERROR
+    description = (
+        "values carry dimensions (seconds, ticks, bytes, bytes/s) "
+        "seeded from repro.units helpers, TICKS_PER_SECOND arithmetic "
+        "and *_s/*_ticks/*_bytes naming; adding, subtracting, comparing "
+        "or passing mismatched dimensions is a unit bug no inline "
+        "factor will fix."
+    )
+    hint = (
+        "convert explicitly with repro.units "
+        "(seconds_to_ticks/ticks_to_seconds/us/ms/gbps) before mixing, "
+        "and name values for the unit they hold"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for name in sorted(project.modules):
+            index = project.modules[name]
+            for issue in index.dim_issues:
+                yield self.project_finding(
+                    index.path, issue.line, issue.col, issue.message
+                )
+            yield from self._call_edges(project, index)
+
+    def _call_edges(self, project, index) -> Iterator[Finding]:
+        for site in index.call_sites:
+            sig = project.resolve_function(site.callee)
+            if sig is None:
+                continue
+            pairs = list(zip(sig.params, sig.param_dims, site.pos_dims))
+            by_name = dict(zip(sig.params, sig.param_dims))
+            for keyword, dim in site.kw_dims:
+                if keyword in by_name:
+                    pairs.append((keyword, by_name[keyword], dim))
+            for param, expected, actual in pairs:
+                if (
+                    expected in DIMENSIONS
+                    and actual in DIMENSIONS
+                    and expected != actual
+                ):
+                    yield self.project_finding(
+                        index.path,
+                        site.line,
+                        site.col,
+                        f"argument for `{param}` of "
+                        f"`{sig.qualname}` is {actual}, parameter "
+                        f"expects {expected}",
+                    )

@@ -1,0 +1,146 @@
+"""DET004: RNG substream discipline across the whole program.
+
+PR 5/6 established *bit-equivalence* contracts between fidelity tiers:
+a seeded run must replay identically whichever engine executes it. That
+only holds while every component draws from its own
+:class:`repro.sim.rng.RandomStreams` substream — stream *positions* are
+part of the contract. Three statically-checkable ways the contract
+breaks, each a finding family here (draw sites come from the taint
+pass, :mod:`repro.lint.taint`):
+
+* **collision** — the same literal name (or f-string template) drawn by
+  two different components: both advance one generator, so adding a
+  draw in one silently shifts the other's sequence. Deliberate sharing
+  must be declared in ``[tool.repro-lint.rng.shared]`` with the
+  contract that justifies it.
+* **foreign draw** — a substream whose name prefix is owned by another
+  component (``[tool.repro-lint.rng.owners]``): only the owner may
+  advance its streams.
+* **escaping generator** — a generator drawn at module scope (shared
+  mutable state for every importer) or stored on a *public* attribute
+  (any consumer can advance the stream position from outside the
+  owning component).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..findings import Finding, Severity
+from ..rules import BaseProjectRule, register_rule
+from ..taint import template_prefix
+
+
+@register_rule
+class SubstreamDisciplineRule(BaseProjectRule):
+    """DET004: named-substream ownership and collision tracking."""
+
+    code = "DET004"
+    name = "substream-discipline"
+    severity = Severity.ERROR
+    description = (
+        "RandomStreams substreams carry bit-equivalence contracts: a "
+        "name drawn by two components, a draw of another component's "
+        "stream, or a generator escaping through module scope or a "
+        "public attribute silently shifts stream positions between "
+        "runs and tiers."
+    )
+    hint = (
+        "give each component its own substream name; declare deliberate "
+        "sharing in [tool.repro-lint.rng.shared]; keep generators on "
+        "private attributes"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        yield from self._collisions(project)
+        yield from self._foreign_draws(project)
+        yield from self._escapes(project)
+
+    @staticmethod
+    def _component(index) -> str:
+        if index.package_parts:
+            return index.package_parts[0]
+        return index.module
+
+    def _draw_sites(self, project):
+        """(method, template) -> [(component, index, draw)], sorted."""
+        table: Dict[Tuple[str, str], List] = {}
+        for name in sorted(project.modules):
+            index = project.modules[name]
+            for draw in index.rng_draws:
+                if draw.template is None:
+                    continue
+                key = (draw.method, draw.template)
+                table.setdefault(key, []).append(
+                    (self._component(index), index, draw)
+                )
+        return table
+
+    def _collisions(self, project) -> Iterator[Finding]:
+        shared = project.config.shared_streams
+        for (method, template), sites in sorted(
+            self._draw_sites(project).items()
+        ):
+            if template in shared:
+                continue
+            components = sorted({component for component, _, _ in sites})
+            if len(components) < 2:
+                continue
+            others = ", ".join(components)
+            for _component, index, draw in sites:
+                yield self.project_finding(
+                    index.path,
+                    draw.line,
+                    draw.col,
+                    f"substream {template!r} ({method}) drawn in "
+                    f"{len(components)} components ({others}); shared "
+                    "names advance one generator from multiple places",
+                )
+
+    def _foreign_draws(self, project) -> Iterator[Finding]:
+        owners = project.config.stream_owners
+        shared = project.config.shared_streams
+        for (method, template), sites in sorted(
+            self._draw_sites(project).items()
+        ):
+            if template in shared:
+                continue
+            owner = owners.get(template_prefix(template))
+            if owner is None:
+                continue
+            for component, index, draw in sites:
+                if component != owner:
+                    yield self.project_finding(
+                        index.path,
+                        draw.line,
+                        draw.col,
+                        f"substream {template!r} ({method}) is owned by "
+                        f"component `{owner}` but drawn in "
+                        f"`{component}`",
+                    )
+
+    def _escapes(self, project) -> Iterator[Finding]:
+        for name in sorted(project.modules):
+            index = project.modules[name]
+            for draw in index.rng_draws:
+                if draw.module_scope:
+                    shown = draw.template or "<dynamic>"
+                    yield self.project_finding(
+                        index.path,
+                        draw.line,
+                        draw.col,
+                        f"substream {shown!r} drawn at module scope: "
+                        "every importer shares (and advances) one "
+                        "generator",
+                    )
+                if draw.public_attr is not None:
+                    shown = draw.template or "<dynamic>"
+                    yield self.project_finding(
+                        index.path,
+                        draw.line,
+                        draw.col,
+                        f"substream {shown!r} stored on public "
+                        f"attribute `{draw.public_attr}`: the stream "
+                        "position can be advanced from outside the "
+                        "owning component",
+                    )

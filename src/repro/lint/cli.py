@@ -4,6 +4,9 @@ Usage::
 
     repro-lint src/repro                  # text report, exit 1 on findings
     repro-lint src/repro --format json    # machine-readable (CI)
+    repro-lint src/repro --format sarif   # SARIF 2.1.0 (PR annotation)
+    repro-lint src/repro --format github  # GitHub ::error commands
+    repro-lint src/repro --jobs 4         # parallel index pass
     repro-lint src/repro --select DET002  # one rule only
     repro-lint src/repro --write-baseline # grandfather current findings
     repro-lint --list-rules               # the rule catalog
@@ -16,15 +19,20 @@ Equivalent module form: ``python -m repro.lint ...``; also mounted as
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from ..errors import ReproError
 from .baseline import DEFAULT_BASELINE, Baseline
-from .engine import Report, lint_paths
-from .rules import all_rules
+from .engine import lint_paths
+from .formats import (
+    render_github,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from .rules import all_rules, select_rules
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,8 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based checks for the repo's simulation invariants: "
-            "determinism, unit discipline and runner discipline."
+            "Two-pass static analysis for the repo's simulation "
+            "invariants: determinism, unit discipline, runner "
+            "discipline, and whole-program semantics (layer DAG, RNG "
+            "substream ownership, dimensional inference)."
         ),
     )
     parser.add_argument(
@@ -44,9 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the index pass (default: 1; output "
+            "is byte-identical at any job count)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -100,32 +119,15 @@ def _render_rules() -> str:
     return "\n".join(lines)
 
 
-def _render_text(report: Report) -> str:
-    lines = [finding.render() for finding in report.findings]
-    seen = set()
-    hints = []
-    for finding in report.findings:
-        if finding.code not in seen and finding.hint:
-            seen.add(finding.code)
-            hints.append(f"  {finding.code}: {finding.hint}")
-    if hints:
-        lines.append("fix hints:")
-        lines.extend(hints)
-    summary = (
-        f"{len(report.findings)} finding(s) in {report.files} file(s)"
-    )
-    if report.baselined:
-        summary += f" ({len(report.baselined)} baselined)"
-    lines.append(summary if report.findings else f"clean: {summary}")
-    return "\n".join(lines)
-
-
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.list_rules:
         print(_render_rules())
         return 0
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     baseline_path = Path(
         args.baseline if args.baseline is not None else DEFAULT_BASELINE
@@ -136,6 +138,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.paths,
                 select=_codes(args.select),
                 ignore=_codes(args.ignore),
+                jobs=args.jobs,
             )
             Baseline.write(baseline_path, report.findings)
             print(
@@ -153,15 +156,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             select=_codes(args.select),
             ignore=_codes(args.ignore),
             baseline=baseline,
+            jobs=args.jobs,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
+        print(render_json(report))
+    elif args.format == "sarif":
+        print(
+            render_sarif(
+                report,
+                select_rules(_codes(args.select), _codes(args.ignore)),
+            )
+        )
+    elif args.format == "github":
+        print(render_github(report))
     else:
-        print(_render_text(report))
+        print(render_text(report))
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,595 @@
+"""Lightweight dimensional abstract interpretation for UNIT002.
+
+Assigns physical dimensions to expressions and propagates them through
+assignments, arithmetic and call edges. The lattice is deliberately
+small — exactly the units the simulators trade in (see
+:mod:`repro.units`):
+
+    seconds | milliseconds | microseconds | ticks | bytes | rate
+
+plus ``SCALAR`` (dimensionless numeric literals and ratios) and ``None``
+(unknown). Dimensions are seeded three ways:
+
+* calls to :mod:`repro.units` helpers (``us(...)`` is seconds,
+  ``seconds_to_ticks(...)`` is ticks, ``gbps(...)`` is bytes/s, ...);
+* ``TICKS_PER_SECOND`` / ``BITS_PER_BYTE`` arithmetic (``x *
+  TICKS_PER_SECOND`` converts seconds to ticks);
+* the repo's naming convention — ``*_s`` is seconds, ``*_ms`` /
+  ``*_us`` millis/micros, ``*_ticks`` ticks, ``*_bytes`` bytes,
+  ``*_bytes_per_s`` / ``*_bps`` a rate — applied to parameters, locals
+  and attribute reads.
+
+The interpreter is intentionally conservative: a violation is reported
+only when **both** operands of a ``+``/``-``/comparison carry known,
+different dimensions, so unknown values never produce noise. Analysis
+is intra-procedural; every resolved call into the project is recorded
+as a :class:`CallSite` so the UNIT002 project rule can check argument
+dimensions against parameter conventions *across* modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .context import ModuleContext
+
+SECONDS = "seconds"
+MILLISECONDS = "milliseconds"
+MICROSECONDS = "microseconds"
+TICKS = "ticks"
+BYTES = "bytes"
+RATE = "bytes/s"
+
+#: Dimensions that participate in mismatch checks.
+DIMENSIONS = (SECONDS, MILLISECONDS, MICROSECONDS, TICKS, BYTES, RATE)
+
+#: Dimensionless numeric value (literals, ratios, BITS_PER_BYTE).
+SCALAR = "scalar"
+
+#: ``repro.units`` helper -> dimension of its return value.
+_UNITS_RETURNS = {
+    "seconds": SECONDS,
+    "milliseconds": SECONDS,
+    "microseconds": SECONDS,
+    "ms": SECONDS,
+    "us": SECONDS,
+    "seconds_to_ticks": TICKS,
+    "ticks_to_seconds": SECONDS,
+    "gbps": RATE,
+    "mbps": RATE,
+    "kib": BYTES,
+    "mib": BYTES,
+    "gib": BYTES,
+    "megabytes": BYTES,
+    "to_milliseconds": MILLISECONDS,
+    "to_microseconds": MICROSECONDS,
+}
+
+#: ``repro.units`` helper -> dimension its argument must carry.
+_UNITS_ARGS = {
+    "seconds": SECONDS,
+    "milliseconds": MILLISECONDS,
+    "microseconds": MICROSECONDS,
+    "ms": MILLISECONDS,
+    "us": MICROSECONDS,
+    "seconds_to_ticks": SECONDS,
+    "ticks_to_seconds": TICKS,
+    "to_milliseconds": SECONDS,
+    "to_microseconds": SECONDS,
+    "to_gbps": RATE,
+    "to_megabytes": BYTES,
+}
+
+#: Name-suffix conventions, most specific first.
+_SUFFIX_DIMS: Tuple[Tuple[str, str], ...] = (
+    ("_bytes_per_s", RATE),
+    ("_bps", RATE),
+    ("_bytes", BYTES),
+    ("_ticks", TICKS),
+    ("_ms", MILLISECONDS),
+    ("_us", MICROSECONDS),
+    ("_seconds", SECONDS),
+    ("_sec", SECONDS),
+    ("_s", SECONDS),
+)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass(frozen=True, order=True)
+class DimIssue:
+    """One intra-module dimensional violation."""
+
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A resolved call with the inferred dimensions of its arguments."""
+
+    callee: str
+    pos_dims: Tuple[Optional[str], ...]
+    kw_dims: Tuple[Tuple[str, Optional[str]], ...]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class FunctionSig:
+    """Parameter-name dimension conventions of one function."""
+
+    qualname: str
+    params: Tuple[str, ...]
+    param_dims: Tuple[Optional[str], ...]
+    return_dim: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+def dim_of_identifier(name: str) -> Optional[str]:
+    """Dimension implied by the repo naming convention, if any."""
+    if name == "ticks":
+        return TICKS
+    for suffix, dim in _SUFFIX_DIMS:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return dim
+    return None
+
+
+def _mix_message(left: str, right: str, what: str) -> str:
+    pair = {left, right}
+    if pair == {SECONDS, TICKS}:
+        return (
+            f"{what} mixes seconds and ticks; convert with "
+            "seconds_to_ticks/ticks_to_seconds first"
+        )
+    return f"{what} mixes {left} and {right}"
+
+
+class _Analyzer:
+    """One pass over one module's statements."""
+
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        return_dims: Dict[str, Optional[str]],
+        local_functions: Dict[str, str],
+    ) -> None:
+        self.ctx = ctx
+        self.return_dims = return_dims
+        self.local_functions = local_functions
+        self.issues: List[DimIssue] = []
+        self.call_sites: List[CallSite] = []
+        self.returns: List[Optional[str]] = []
+
+    # -------------------------------------------------------- helpers
+
+    def _units_helper(self, func: ast.expr) -> Optional[str]:
+        """Base name of a ``repro.units`` helper call, if that is one."""
+        resolved = self.ctx.resolve(func)
+        if resolved is None:
+            if self.ctx.module_parts[-1:] == ("units",) and isinstance(
+                func, ast.Name
+            ):
+                return func.id if func.id in _UNITS_RETURNS else None
+            return None
+        parts = resolved.split(".")
+        if len(parts) >= 2 and parts[-2] == "units":
+            return parts[-1]
+        return None
+
+    def _is_constant(self, node: ast.expr, name: str) -> bool:
+        resolved = self.ctx.resolve(node)
+        if resolved is not None:
+            return resolved.split(".")[-1] == name
+        return isinstance(node, ast.Name) and node.id == name
+
+    def _issue(self, node: ast.AST, message: str) -> None:
+        self.issues.append(
+            DimIssue(
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------ statements
+
+    def run(self, body, env: Dict[str, Optional[str]]) -> None:
+        for stmt in body:
+            self._statement(stmt, env)
+
+    def _statement(self, stmt, env: Dict[str, Optional[str]]) -> None:
+        if isinstance(stmt, _SCOPE_NODES):
+            return  # nested defs are analyzed as their own functions
+        if isinstance(stmt, ast.Assign):
+            dim = self._infer(stmt.value, env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = self._bind(target.id, dim)
+        elif isinstance(stmt, ast.AnnAssign):
+            dim = (
+                self._infer(stmt.value, env)
+                if stmt.value is not None
+                else None
+            )
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = self._bind(stmt.target.id, dim)
+        elif isinstance(stmt, ast.AugAssign):
+            target_dim = self._infer(stmt.target, env)
+            value_dim = self._infer(stmt.value, env)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                if (
+                    target_dim in DIMENSIONS
+                    and value_dim in DIMENSIONS
+                    and target_dim != value_dim
+                ):
+                    self._issue(
+                        stmt,
+                        _mix_message(
+                            target_dim, value_dim, "augmented assignment"
+                        ),
+                    )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.returns.append(None)
+            else:
+                self.returns.append(self._infer(stmt.value, env))
+        elif isinstance(stmt, ast.Expr):
+            self._infer(stmt.value, env)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._infer(stmt.test, env)
+            self.run(stmt.body, env)
+            self.run(stmt.orelse, env)
+        elif isinstance(stmt, ast.For):
+            self._infer(stmt.iter, env)
+            if isinstance(stmt.target, ast.Name):
+                # Let the naming convention govern the loop variable.
+                env.pop(stmt.target.id, None)
+            self.run(stmt.body, env)
+            self.run(stmt.orelse, env)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._infer(item.context_expr, env)
+            self.run(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            self.run(stmt.body, env)
+            for handler in stmt.handlers:
+                self.run(handler.body, env)
+            self.run(stmt.orelse, env)
+            self.run(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._infer(child, env)
+
+    @staticmethod
+    def _bind(name: str, dim: Optional[str]) -> Optional[str]:
+        """Dimension to record for an assigned name.
+
+        An explicit inference wins; otherwise the name's own convention
+        applies (assigning an unknown to ``dt_s`` keeps it seconds).
+        """
+        if dim is not None and dim != SCALAR:
+            return dim
+        convention = dim_of_identifier(name)
+        return convention if convention is not None else dim
+
+    # ----------------------------------------------------- expressions
+
+    def _infer(self, node: ast.expr, env) -> Optional[str]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, (int, float)):
+                return SCALAR
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return dim_of_identifier(node.id)
+        if isinstance(node, ast.Attribute):
+            self._infer(node.value, env)
+            return dim_of_identifier(node.attr)
+        if isinstance(node, ast.Subscript):
+            base = self._infer(node.value, env)
+            return base if base in DIMENSIONS else None
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand, env)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env)
+        if isinstance(node, ast.Compare):
+            self._compare(node, env)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test, env)
+            left = self._infer(node.body, env)
+            right = self._infer(node.orelse, env)
+            return left if left == right else None
+        if isinstance(node, ast.BoolOp):
+            dims = [self._infer(value, env) for value in node.values]
+            known = {d for d in dims if d in DIMENSIONS}
+            return known.pop() if len(known) == 1 else None
+        if isinstance(node, ast.Starred):
+            self._infer(node.value, env)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self._infer(element, env)
+            return None
+        return None
+
+    def _binop(self, node: ast.BinOp, env) -> Optional[str]:
+        left_tps = self._is_constant(node.left, "TICKS_PER_SECOND")
+        right_tps = self._is_constant(node.right, "TICKS_PER_SECOND")
+        left = (
+            SCALAR
+            if self._is_constant(node.left, "BITS_PER_BYTE")
+            else self._infer(node.left, env)
+        )
+        right = (
+            SCALAR
+            if self._is_constant(node.right, "BITS_PER_BYTE")
+            else self._infer(node.right, env)
+        )
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if (
+                left in DIMENSIONS
+                and right in DIMENSIONS
+                and left != right
+            ):
+                what = (
+                    "addition" if isinstance(op, ast.Add) else "subtraction"
+                )
+                self._issue(node, _mix_message(left, right, what))
+                return None
+            if left in DIMENSIONS:
+                return left
+            if right in DIMENSIONS:
+                return right
+            if left == SCALAR and right == SCALAR:
+                return SCALAR
+            return None
+        if isinstance(op, ast.Mult):
+            if left_tps or right_tps:
+                other = right if left_tps else left
+                if other in (MILLISECONDS, MICROSECONDS, TICKS):
+                    self._issue(
+                        node,
+                        f"multiplying {other} by TICKS_PER_SECOND "
+                        "(expects seconds)",
+                    )
+                return TICKS
+            dims = {left, right}
+            if dims == {SECONDS, RATE}:
+                return BYTES
+            if left in DIMENSIONS and right in (SCALAR, None):
+                return left if right == SCALAR else None
+            if right in DIMENSIONS and left in (SCALAR, None):
+                return right if left == SCALAR else None
+            if left == SCALAR and right == SCALAR:
+                return SCALAR
+            return None
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if right_tps:
+                if left in (MILLISECONDS, MICROSECONDS, SECONDS):
+                    self._issue(
+                        node,
+                        f"dividing {left} by TICKS_PER_SECOND "
+                        "(expects ticks)",
+                    )
+                return SECONDS
+            if left == BYTES and right == SECONDS:
+                return RATE
+            if left == BYTES and right == RATE:
+                return SECONDS
+            if left in DIMENSIONS and right in DIMENSIONS:
+                return SCALAR if left == right else None
+            if left in DIMENSIONS and right == SCALAR:
+                return left
+            if left == SCALAR and right == SCALAR:
+                return SCALAR
+            return None
+        if isinstance(op, ast.Mod):
+            if left in DIMENSIONS and right in (SCALAR, None):
+                return left
+            if left in DIMENSIONS and right in DIMENSIONS:
+                return left if left == right else None
+            return None
+        if isinstance(op, ast.Pow):
+            return SCALAR if left == SCALAR and right == SCALAR else None
+        return None
+
+    def _compare(self, node: ast.Compare, env) -> None:
+        left_node = node.left
+        left = self._infer(left_node, env)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self._infer(comparator, env)
+            if isinstance(
+                op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+            ):
+                if (
+                    left in DIMENSIONS
+                    and right in DIMENSIONS
+                    and left != right
+                ):
+                    self._issue(
+                        node, _mix_message(left, right, "comparison")
+                    )
+            left = right
+
+    def _call(self, node: ast.Call, env) -> Optional[str]:
+        pos_dims = tuple(
+            self._infer(arg, env)
+            for arg in node.args
+            if not isinstance(arg, ast.Starred)
+        )
+        kw_dims = tuple(
+            (keyword.arg, self._infer(keyword.value, env))
+            for keyword in node.keywords
+            if keyword.arg is not None
+        )
+        has_star = any(
+            isinstance(arg, ast.Starred) for arg in node.args
+        ) or any(keyword.arg is None for keyword in node.keywords)
+
+        helper = self._units_helper(node.func)
+        if helper is not None:
+            expected = _UNITS_ARGS.get(helper)
+            if expected is not None and len(pos_dims) == 1:
+                actual = pos_dims[0]
+                if actual in DIMENSIONS and actual != expected:
+                    self._issue(
+                        node,
+                        f"units.{helper}() expects {expected}, "
+                        f"got {actual}",
+                    )
+            return _UNITS_RETURNS.get(helper)
+
+        if isinstance(node.func, ast.Name):
+            builtin = node.func.id
+            if builtin in ("float", "int", "abs", "round") and pos_dims:
+                return pos_dims[0]
+            if builtin in ("min", "max"):
+                known = {d for d in pos_dims if d in DIMENSIONS}
+                if len(known) > 1:
+                    first, second = sorted(known)[:2]
+                    self._issue(
+                        node,
+                        _mix_message(first, second, f"{builtin}()"),
+                    )
+                    return None
+                return known.pop() if known else None
+
+        callee = self._resolve_callee(node.func)
+        if callee is not None and not has_star:
+            self.call_sites.append(
+                CallSite(
+                    callee=callee,
+                    pos_dims=pos_dims,
+                    kw_dims=kw_dims,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+            )
+            short = callee.rsplit(".", 1)[-1]
+            if callee in self.return_dims:
+                return self.return_dims[callee]
+            if short in self.local_functions and callee.startswith(
+                ".".join(self.ctx.module_parts)
+            ):
+                return self.return_dims.get(
+                    self.local_functions[short]
+                )
+        return None
+
+    def _resolve_callee(self, func: ast.expr) -> Optional[str]:
+        resolved = self.ctx.resolve(func)
+        if resolved is not None:
+            root = resolved.split(".", 1)[0]
+            if root == self.ctx.module_parts[0]:
+                return resolved
+            return None
+        if isinstance(func, ast.Name) and func.id in self.local_functions:
+            return self.local_functions[func.id]
+        return None
+
+
+def _collect_functions(ctx: ModuleContext):
+    """(qualname, def-node) for every function, methods included."""
+    module_name = ".".join(ctx.module_parts)
+    found = []
+
+    def visit(node, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                found.append((f"{prefix}.{child.name}", child))
+                visit(child, f"{prefix}.{child.name}.<locals>")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}.{child.name}")
+            elif not isinstance(child, ast.Lambda):
+                visit(child, prefix)
+
+    visit(ctx.tree, module_name)
+    return found
+
+
+def _signature(qualname: str, node) -> FunctionSig:
+    args = node.args
+    names = [arg.arg for arg in [*args.posonlyargs, *args.args]]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    dims = tuple(dim_of_identifier(name) for name in names)
+    return FunctionSig(
+        qualname=qualname, params=tuple(names), param_dims=dims
+    )
+
+
+def _param_env(node) -> Dict[str, Optional[str]]:
+    env: Dict[str, Optional[str]] = {}
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        dim = dim_of_identifier(arg.arg)
+        if dim is not None:
+            env[arg.arg] = dim
+    return env
+
+
+def analyze_dimensions(ctx: ModuleContext):
+    """Full dimensional analysis of one module.
+
+    Returns ``(functions, call_sites, issues)`` where ``functions`` are
+    :class:`FunctionSig` records (with inferred return dimensions),
+    ``call_sites`` every resolved in-project call with argument
+    dimensions, and ``issues`` the intra-module violations.
+    """
+    functions = _collect_functions(ctx)
+    signatures = {q: _signature(q, node) for q, node in functions}
+    local_functions = {}
+    module_name = ".".join(ctx.module_parts)
+    for qualname, _node in functions:
+        relative = qualname[len(module_name) + 1:]
+        if "." not in relative:  # module-level functions only
+            local_functions[relative] = qualname
+
+    # Pass 1: return dimensions (no cross-function propagation yet).
+    return_dims: Dict[str, Optional[str]] = {}
+    for qualname, node in functions:
+        probe = _Analyzer(ctx, {}, local_functions)
+        probe.run(node.body, _param_env(node))
+        dims = {d for d in probe.returns if d in DIMENSIONS}
+        if len(dims) == 1 and all(
+            d in DIMENSIONS for d in probe.returns
+        ) and probe.returns:
+            return_dims[qualname] = dims.pop()
+
+    # Pass 2: issues and call sites, with local return dims available.
+    analyzer = _Analyzer(ctx, return_dims, local_functions)
+    analyzer.run(ctx.tree.body, {})
+    for qualname, node in functions:
+        analyzer.run(node.body, _param_env(node))
+
+    signatures = {
+        q: FunctionSig(
+            qualname=sig.qualname,
+            params=sig.params,
+            param_dims=sig.param_dims,
+            return_dim=return_dims.get(q),
+        )
+        for q, sig in signatures.items()
+    }
+    return (
+        tuple(signatures[q] for q, _ in functions),
+        tuple(analyzer.call_sites),
+        tuple(sorted(analyzer.issues)),
+    )

@@ -1,0 +1,142 @@
+"""Report renderers: text, JSON, SARIF 2.1.0 and GitHub annotations.
+
+``--format sarif`` emits a minimal, valid SARIF 2.1.0 log (one run, one
+tool, results with physical locations and stable partial fingerprints)
+so the CI lint job can upload findings for inline PR annotation via
+``github/codeql-action/upload-sarif``. ``--format github`` prints
+GitHub Actions workflow commands (``::error file=...``) directly, which
+annotates the diff with zero extra plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .engine import Report
+from .findings import Finding, Severity
+from .rules import Rule
+
+#: SARIF schema the ``sarif`` format targets.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(report: Report) -> str:
+    """The human-facing one-line-per-finding report."""
+    lines = [finding.render() for finding in report.findings]
+    seen = set()
+    hints = []
+    for finding in report.findings:
+        if finding.code not in seen and finding.hint:
+            seen.add(finding.code)
+            hints.append(f"  {finding.code}: {finding.hint}")
+    if hints:
+        lines.append("fix hints:")
+        lines.extend(hints)
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files} file(s)"
+    )
+    if report.baselined:
+        summary += f" ({len(report.baselined)} baselined)"
+    lines.append(summary if report.findings else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """The machine-readable document (stable across runs)."""
+    return json.dumps(report.to_dict(), indent=2)
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _sarif_result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.code,
+        "level": _sarif_level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLint/v1": finding.fingerprint(),
+        },
+    }
+
+
+def render_sarif(report: Report, rules: Sequence[Rule]) -> str:
+    """A SARIF 2.1.0 log of the fresh findings."""
+    rule_entries = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {
+                "level": _sarif_level(rule.severity)
+            },
+        }
+        for rule in rules
+    ]
+    document = {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/repro"
+                        ),
+                        "rules": rule_entries,
+                    }
+                },
+                "results": [
+                    _sarif_result(finding)
+                    for finding in report.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_github(report: Report) -> str:
+    """GitHub Actions workflow commands, one per finding.
+
+    Emitted on stdout inside a workflow step, these annotate the PR
+    diff inline; the trailing summary line is inert to the runner.
+    """
+    lines: List[str] = []
+    for finding in report.findings:
+        command = (
+            "error"
+            if finding.severity is Severity.ERROR
+            else "warning"
+        )
+        message = finding.message.replace("%", "%25").replace(
+            "\n", "%0A"
+        )
+        lines.append(
+            f"::{command} file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.code}::{message}"
+        )
+    lines.append(
+        f"{len(report.findings)} finding(s) in {report.files} file(s)"
+    )
+    return "\n".join(lines)

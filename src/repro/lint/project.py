@@ -1,0 +1,344 @@
+"""The whole-program index: per-module summaries and their join.
+
+The two-pass analyzer works on *summaries*, not ASTs: the index pass
+distills each module into a picklable :class:`ModuleIndex` (imports,
+symbols, RNG draw sites, dimension call sites, suppression table), and
+the semantic pass joins them into one :class:`ProjectContext` the
+project rules (ARCH001/DET004/UNIT002) query. Keeping the records
+plain-data is what lets the index pass fan out across a process pool
+(``repro-lint --jobs``) while the join stays deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .config import LintConfig
+from .context import ModuleContext
+from .dimflow import CallSite, DimIssue, FunctionSig, analyze_dimensions
+from .suppress import suppressions
+from .taint import RngDraw, extract_rng_draws
+
+
+@dataclass(frozen=True, order=True)
+class ImportSite:
+    """One import statement edge out of a module.
+
+    Attributes:
+        target: Dotted path as imported, symbol tails included
+            (``"repro.workloads.job.JobSpec"``); consumers resolve it
+            against the project by longest module prefix.
+        line: 1-based line of the import.
+        col: Column offset.
+        type_checking: Inside an ``if TYPE_CHECKING:`` block — erased
+            at runtime, exempt from the layer DAG.
+        function_scope: Inside a function body (a lazy import); real
+            for layering, but excluded from import-cycle detection
+            because deferral is exactly how cycles are legally broken.
+    """
+
+    target: str
+    line: int
+    col: int
+    type_checking: bool = False
+    function_scope: bool = False
+
+
+@dataclass
+class ModuleIndex:
+    """Everything the semantic pass needs to know about one module."""
+
+    path: str
+    module: str
+    package_parts: Tuple[str, ...]
+    imports: Tuple[ImportSite, ...] = ()
+    symbols: Tuple[str, ...] = ()
+    rng_draws: Tuple[RngDraw, ...] = ()
+    functions: Tuple[FunctionSig, ...] = ()
+    call_sites: Tuple[CallSite, ...] = ()
+    dim_issues: Tuple[DimIssue, ...] = ()
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+
+def _is_type_checking_test(ctx: ModuleContext, test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    resolved = ctx.resolve(test)
+    return resolved is not None and resolved.endswith("TYPE_CHECKING")
+
+
+def _extract_imports(ctx: ModuleContext) -> Tuple[ImportSite, ...]:
+    sites: List[ImportSite] = []
+
+    def visit(node, in_function: bool, in_type_checking: bool) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                sites.append(
+                    ImportSite(
+                        target=alias.name,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        type_checking=in_type_checking,
+                        function_scope=in_function,
+                    )
+                )
+            return
+        if isinstance(node, ast.ImportFrom):
+            base = ctx._relative_base(node.level) if node.level else ()
+            module = (
+                tuple(node.module.split(".")) if node.module else ()
+            )
+            prefix = ".".join(base + module)
+            for alias in node.names:
+                if alias.name == "*":
+                    target = prefix
+                elif prefix:
+                    target = f"{prefix}.{alias.name}"
+                else:
+                    target = alias.name
+                if target:
+                    sites.append(
+                        ImportSite(
+                            target=target,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            type_checking=in_type_checking,
+                            function_scope=in_function,
+                        )
+                    )
+            return
+        if isinstance(node, ast.If):
+            guarded = in_type_checking or _is_type_checking_test(
+                ctx, node.test
+            )
+            for stmt in node.body:
+                visit(stmt, in_function, guarded)
+            for stmt in node.orelse:
+                visit(stmt, in_function, in_type_checking)
+            return
+        entering_function = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        )
+        for child in ast.iter_child_nodes(node):
+            visit(
+                child,
+                in_function or entering_function,
+                in_type_checking,
+            )
+
+    visit(ctx.tree, False, False)
+    return tuple(sorted(sites))
+
+
+def _extract_symbols(ctx: ModuleContext) -> Tuple[str, ...]:
+    names: List[str] = []
+    for stmt in ctx.tree.body:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.append(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.append(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            names.append(stmt.target.id)
+    return tuple(sorted(set(names)))
+
+
+def build_module_index(ctx: ModuleContext) -> ModuleIndex:
+    """Distill one parsed module into its picklable summary."""
+    functions, call_sites, dim_issues = analyze_dimensions(ctx)
+    return ModuleIndex(
+        path=ctx.path,
+        module=".".join(ctx.module_parts),
+        package_parts=ctx.package_parts,
+        imports=_extract_imports(ctx),
+        symbols=_extract_symbols(ctx),
+        rng_draws=extract_rng_draws(ctx),
+        functions=functions,
+        call_sites=call_sites,
+        dim_issues=dim_issues,
+        suppressions=suppressions(ctx.source),
+    )
+
+
+class ProjectContext:
+    """The joined index the project rules run against.
+
+    Attributes:
+        modules: Dotted module name -> :class:`ModuleIndex`, sorted.
+        config: The resolved :class:`~repro.lint.config.LintConfig`.
+    """
+
+    def __init__(
+        self,
+        indexes: Sequence[ModuleIndex],
+        config: Optional[LintConfig] = None,
+    ) -> None:
+        self.config = config if config is not None else LintConfig()
+        self.modules: Dict[str, ModuleIndex] = {}
+        for index in sorted(indexes, key=lambda i: (i.module, i.path)):
+            self.modules[index.module] = index
+        self._functions: Dict[str, FunctionSig] = {}
+        self._by_basename: Dict[str, List[FunctionSig]] = {}
+        for index in self.modules.values():
+            for sig in index.functions:
+                self._functions[sig.qualname] = sig
+                self._by_basename.setdefault(sig.name, []).append(sig)
+
+    # ------------------------------------------------------ module graph
+
+    def resolve_module(self, target: str) -> Optional[str]:
+        """Project module matching ``target`` by longest prefix.
+
+        ``"repro.workloads.job.JobSpec"`` resolves to the module
+        ``repro.workloads.job`` when that file is part of the run.
+        """
+        parts = target.split(".")
+        while parts:
+            candidate = ".".join(parts)
+            if candidate in self.modules:
+                return candidate
+            parts.pop()
+        return None
+
+    def import_graph(
+        self, include_lazy: bool = False
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Module -> imported project modules (import-time edges).
+
+        ``TYPE_CHECKING`` imports never appear; function-local imports
+        only when ``include_lazy`` is set.
+        """
+        graph: Dict[str, Tuple[str, ...]] = {}
+        for name, index in self.modules.items():
+            targets = set()
+            for site in index.imports:
+                if site.type_checking:
+                    continue
+                if site.function_scope and not include_lazy:
+                    continue
+                resolved = self.resolve_module(site.target)
+                if resolved is not None and resolved != name:
+                    targets.add(resolved)
+            graph[name] = tuple(sorted(targets))
+        return graph
+
+    # -------------------------------------------------- function lookup
+
+    def resolve_function(self, callee: str) -> Optional[FunctionSig]:
+        """Match a recorded call-site callee to a project function.
+
+        Tries the exact qualified name first, then unique basename
+        matches that are consistent with the callee's package prefix —
+        which is how calls through package re-exports
+        (``repro.workloads.poisson_arrivals``) find their definition
+        (``repro.workloads.traces.poisson_arrivals``).
+        """
+        exact = self._functions.get(callee)
+        if exact is not None:
+            return exact
+        if "." not in callee:
+            return None
+        prefix, basename = callee.rsplit(".", 1)
+        candidates = [
+            sig
+            for sig in self._by_basename.get(basename, ())
+            if sig.qualname.startswith(prefix + ".")
+            and sig.qualname.endswith("." + basename)
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def strongly_connected_modules(self) -> List[Tuple[str, ...]]:
+        """Import cycles: SCCs of size > 1, deterministically ordered."""
+        graph = self.import_graph()
+        index_counter = [0]
+        stack: List[str] = []
+        on_stack: Dict[str, bool] = {}
+        indices: Dict[str, int] = {}
+        lowlinks: Dict[str, int] = {}
+        result: List[Tuple[str, ...]] = []
+
+        def strongconnect(node: str) -> None:
+            # Iterative Tarjan (explicit stack) — recursion depth on a
+            # large tree would be unbounded otherwise.
+            work = [(node, iter(graph.get(node, ())))]
+            indices[node] = lowlinks[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack[node] = True
+            while work:
+                current, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in indices:
+                        indices[successor] = lowlinks[successor] = (
+                            index_counter[0]
+                        )
+                        index_counter[0] += 1
+                        stack.append(successor)
+                        on_stack[successor] = True
+                        work.append(
+                            (successor, iter(graph.get(successor, ())))
+                        )
+                        advanced = True
+                        break
+                    if on_stack.get(successor):
+                        lowlinks[current] = min(
+                            lowlinks[current], indices[successor]
+                        )
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(
+                        lowlinks[parent], lowlinks[current]
+                    )
+                if lowlinks[current] == indices[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == current:
+                            break
+                    if len(component) > 1:
+                        result.append(tuple(sorted(component)))
+
+        for name in sorted(graph):
+            if name not in indices:
+                strongconnect(name)
+        return sorted(result)
+
+
+def apply_project_suppressions(
+    findings, modules: Mapping[str, ModuleIndex]
+):
+    """Drop project findings silenced by an inline suppression."""
+    from .suppress import is_suppressed
+
+    by_path: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    for index in modules.values():
+        by_path[index.path] = index.suppressions
+    kept = []
+    for finding in findings:
+        table = by_path.get(finding.path, {})
+        if not is_suppressed(table, finding.line, finding.code):
+            kept.append(finding)
+    return kept

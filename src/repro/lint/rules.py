@@ -79,6 +79,49 @@ class BaseRule:
         raise NotImplementedError
 
 
+class BaseProjectRule(BaseRule):
+    """A rule that needs whole-program visibility.
+
+    Project rules run in the semantic pass, after the index pass has
+    joined every module summary into a
+    :class:`~repro.lint.project.ProjectContext`. They implement
+    :meth:`check_project` instead of :meth:`check`; per-module
+    :meth:`check` is a no-op so the registry can hold both kinds
+    uniformly (selection, baseline and suppression machinery apply to
+    both).
+    """
+
+    def check(self, ctx: ModuleContext):
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield violations visible only with the whole program."""
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> Finding:
+        """A :class:`Finding` at an explicit project position."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            severity=self.severity,
+            hint=self.hint,
+        )
+
+
+def is_project_rule(rule) -> bool:
+    """Whether ``rule`` runs in the semantic (whole-program) pass."""
+    return callable(getattr(rule, "check_project", None))
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 

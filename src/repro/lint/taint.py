@@ -1,0 +1,240 @@
+"""RNG substream taint extraction for DET004.
+
+The bit-equivalence contracts (PR 5/6) hang on every component drawing
+from its *own* named :class:`repro.sim.rng.RandomStreams` substream —
+two components sharing a name silently consume each other's stream
+positions. This module finds the draw sites statically:
+
+* a receiver expression is **stream-tainted** when it is a direct
+  ``RandomStreams(...)`` construction, a ``.spawn(...)`` of a tainted
+  expression, a local previously assigned from a tainted expression, a
+  parameter annotated ``RandomStreams``, or — the repo-wide naming
+  convention — any name/attribute whose final identifier contains
+  ``stream``;
+* a call ``<tainted>.get(name)`` / ``<tainted>.spawn(name)`` is a draw.
+  Literal names record verbatim; f-strings normalize to a template with
+  ``{}`` placeholders (``f"job:{id}"`` -> ``"job:{}"``), so the *shape*
+  of a dynamic name still participates in collision analysis.
+
+Extraction is scope-aware (taint does not leak between functions) and
+records where the drawn generator lands: module scope and public
+``self`` attributes are escape hatches DET004 reports on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from .context import ModuleContext
+
+#: Scope-opening nodes (mirrors the DET003 walker).
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+@dataclass(frozen=True)
+class RngDraw:
+    """One ``RandomStreams.get``/``spawn`` call site.
+
+    Attributes:
+        method: ``"get"`` or ``"spawn"``.
+        template: Normalized name (``"arrival-gaps"``, ``"job:{}"``) or
+            ``None`` when the name expression is dynamic.
+        line: 1-based line of the call.
+        col: Column offset of the call.
+        module_scope: Whether the draw executes at module import time.
+        public_attr: Attribute name when the generator is stored on a
+            public ``self`` attribute, else ``None``.
+    """
+
+    method: str
+    template: Optional[str]
+    line: int
+    col: int
+    module_scope: bool = False
+    public_attr: Optional[str] = None
+
+
+def name_template(node: ast.expr) -> Optional[str]:
+    """Normalize a substream-name expression to a template string."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                parts.append(value.value)
+            else:
+                parts.append("{}")
+        return "".join(parts)
+    return None
+
+
+def template_prefix(template: str) -> str:
+    """The ownership prefix of a name template.
+
+    The leading segment before the first ``:`` or ``-`` separator names
+    the owning component (``"arrival-gaps"`` -> ``"arrival"``).
+    """
+    for index, char in enumerate(template):
+        if char in ":-":
+            return template[:index]
+    return template
+
+
+def _terminal_identifier(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _ScopeScanner:
+    """Extracts draws from one scope, tracking tainted local names."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.draws: List[RngDraw] = []
+
+    def _resolves_to_factory(self, node: ast.expr) -> bool:
+        resolved = self.ctx.resolve(node)
+        if resolved is not None:
+            return resolved.split(".")[-1] == "RandomStreams"
+        return (
+            isinstance(node, ast.Name) and node.id == "RandomStreams"
+        )
+
+    def _is_tainted(self, node: ast.expr, tainted: Set[str]) -> bool:
+        if isinstance(node, ast.Call):
+            if self._resolves_to_factory(node.func):
+                return True
+            # RandomStreams.spawn() returns another factory.
+            if isinstance(node.func, ast.Attribute) and (
+                node.func.attr == "spawn"
+            ):
+                return self._is_tainted(node.func.value, tainted)
+            return False
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+        terminal = _terminal_identifier(node)
+        return terminal is not None and "stream" in terminal.lower()
+
+    def _annotation_is_factory(self, annotation) -> bool:
+        if annotation is None:
+            return False
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            return "RandomStreams" in annotation.value
+        for node in ast.walk(annotation):
+            name = _terminal_identifier(node)
+            if name == "RandomStreams":
+                return True
+        return False
+
+    def scan(self, scope, module_scope: bool, tainted: Set[str]) -> None:
+        own, nested = _split_scope(scope)
+        # Seed taint from annotated parameters of this scope.
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in [
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+            ]:
+                if self._annotation_is_factory(arg.annotation):
+                    tainted.add(arg.arg)
+        # Taint locals assigned from stream expressions (order-free
+        # single pass: assignment statements are rare enough that a
+        # fixed-point is not worth the cycles).
+        for node in own:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._is_tainted(
+                    node.value, tainted
+                ):
+                    tainted.add(target.id)
+        for node in own:
+            if isinstance(node, ast.Call):
+                self._record_draw(node, module_scope, tainted, own)
+        for child in nested:
+            # Lambdas share the enclosing taint; functions/classes
+            # start from the annotated-parameter seed only. Class
+            # bodies execute with the enclosing module, so a draw
+            # there still counts as import-time.
+            child_taint = (
+                set(tainted) if isinstance(child, ast.Lambda) else set()
+            )
+            child_module_scope = module_scope and isinstance(
+                child, ast.ClassDef
+            )
+            self.scan(child, child_module_scope, child_taint)
+
+    def _record_draw(
+        self, node: ast.Call, module_scope: bool, tainted: Set[str], own
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in ("get", "spawn"):
+            return
+        if not node.args or node.keywords:
+            return
+        if not self._is_tainted(func.value, tainted):
+            return
+        template = name_template(node.args[0])
+        public_attr = None
+        for stmt in own:
+            if (
+                isinstance(stmt, ast.Assign)
+                and stmt.value is node
+                and len(stmt.targets) == 1
+            ):
+                target = stmt.targets[0]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and not target.attr.startswith("_")
+                ):
+                    public_attr = target.attr
+        self.draws.append(
+            RngDraw(
+                method=func.attr,
+                template=template,
+                line=node.lineno,
+                col=node.col_offset,
+                module_scope=module_scope,
+                public_attr=public_attr,
+            )
+        )
+
+
+def _split_scope(scope) -> Tuple[list, list]:
+    """(nodes owned by this scope, directly nested scope nodes)."""
+    own, nested, queue = [], [], [scope]
+    while queue:
+        node = queue.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                nested.append(child)
+            else:
+                own.append(child)
+                queue.append(child)
+    return own, nested
+
+
+def extract_rng_draws(ctx: ModuleContext) -> Tuple[RngDraw, ...]:
+    """Every substream draw site in the module, sorted by position."""
+    scanner = _ScopeScanner(ctx)
+    scanner.scan(ctx.tree, True, set())
+    return tuple(
+        sorted(scanner.draws, key=lambda d: (d.line, d.col, d.method))
+    )

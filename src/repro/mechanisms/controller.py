@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..cc.adaptive import AdaptiveUnfair
 from ..cc.base import SharePolicy
@@ -32,9 +32,11 @@ from ..core.cluster_compat import ClusterCompatibilityProblem
 from ..core.compatibility import CompatibilityChecker
 from ..errors import ConfigError
 from ..net.phasesim import Gate
-from ..scheduler.cluster import ClusterState
 from .flow_scheduling import FlowSchedule
 from .priorities import PriorityAssigner
+
+if TYPE_CHECKING:  # annotation-only; `mechanisms` sits below `scheduler`
+    from ..scheduler.cluster import ClusterState
 
 
 class Mechanism(enum.Enum):

@@ -29,8 +29,12 @@ import numpy as np
 from ..core.lifecycle import Gate, JobLifecycle, JobState
 from ..core.timeline import IterationSample, JobTimeline
 from ..errors import ConfigError, SimulationError, WorkloadError
-from ..faults.events import CAPACITY_EVENT_TYPES, InjectionSchedule, RateChange
-from ..faults.runtime import build_warp
+from ..faults.events import (  # simlint: disable=ARCH001 - phase sim applies injection schedules directly; fault event types pending a layer move
+    CAPACITY_EVENT_TYPES,
+    InjectionSchedule,
+    RateChange,
+)
+from ..faults.runtime import build_warp  # simlint: disable=ARCH001 - same inversion as above
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..sim.trace import StepFunction
@@ -42,7 +46,6 @@ from ..telemetry.trace import (
     KIND_PHASE,
     KIND_RATE,
 )
-from ..workloads.job import JobSpec
 from .flows import Flow
 from .fluid import FluidAllocator
 from .routing import Router
@@ -50,6 +53,7 @@ from .topology import Topology
 
 if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
     from ..cc.base import SharePolicy
+    from ..workloads.job import JobSpec
 
 #: Residual bytes below which a communication phase counts as finished.
 _BYTES_EPSILON = 1.0

@@ -429,7 +429,10 @@ def run_service_spec(spec) -> "Any":
     * ``queue_limit`` — admission queue bound.
     """
     from ..net.topology import Topology
-    from ..runner.spec import RunResult, safe_content_hash
+    from ..runner.spec import (  # simlint: disable=ARCH001 - lazy import; the online service reuses RunResult for its report format by design
+        RunResult,
+        safe_content_hash,
+    )
     from ..units import gbps
     from ..workloads.traces import poisson_arrivals, trace_arrivals
     from .placement import ConsolidatedPlacement, RandomPlacement

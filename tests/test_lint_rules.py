@@ -92,11 +92,13 @@ class TestUnseededRandom:
         assert found == []
 
     def test_random_streams_clean(self):
+        # Drawn inside a function: module-scope draws are DET004's beat.
         found = lint(
             """
             from repro.sim.rng import RandomStreams
 
-            rng = RandomStreams(0).get("flows")
+            def build_flows_rng():
+                return RandomStreams(0).get("flows")
             """
         )
         assert found == []

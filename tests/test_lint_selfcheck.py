@@ -79,3 +79,63 @@ def test_lint_cli_write_baseline_grandfathers(tmp_path, capsys):
         encoding="utf-8",
     )
     assert lint_main([str(bad), "--baseline", str(baseline)]) == 1
+
+
+def test_semantic_rules_registered():
+    from repro.lint import all_rules, is_project_rule
+
+    by_code = {rule.code: rule for rule in all_rules()}
+    for code in ("ARCH001", "DET004", "UNIT002"):
+        assert code in by_code, f"{code} missing from the registry"
+        assert is_project_rule(by_code[code])
+
+
+def test_semantic_pass_clean_on_package_tree():
+    report = lint_paths(
+        [str(PACKAGE_DIR)], select=["ARCH001", "DET004", "UNIT002"]
+    )
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.ok, f"semantic findings on src/repro:\n{rendered}"
+
+
+def test_jobs_parity_on_package_tree():
+    serial = lint_paths([str(PACKAGE_DIR)], jobs=1)
+    parallel = lint_paths([str(PACKAGE_DIR)], jobs=4)
+    assert serial.to_dict() == parallel.to_dict()
+
+
+def test_lint_cli_sarif_mode(capsys):
+    assert lint_main([str(PACKAGE_DIR), "--format", "sarif"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"ARCH001", "DET004", "UNIT002"} <= rule_ids
+    assert run["results"] == []
+
+
+def test_lint_cli_sarif_carries_findings(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text("import time\nstart = time.time()\n", encoding="utf-8")
+    assert lint_main([str(bad), "--format", "sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    results = document["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["DET002"]
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+    assert results[0]["partialFingerprints"]["reproLint/v1"]
+
+
+def test_lint_cli_github_mode(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text("import time\nstart = time.time()\n", encoding="utf-8")
+    assert lint_main([str(bad), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=DET002" in out
+
+
+def test_lint_cli_rejects_bad_jobs(capsys):
+    assert lint_main([str(PACKAGE_DIR), "--jobs", "0"]) == 2
+    assert "jobs" in capsys.readouterr().err
