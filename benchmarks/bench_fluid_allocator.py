@@ -57,3 +57,49 @@ def test_fluid_allocator(benchmark):
         for link in sorted(allocation.link_loads, key=lambda l: l.name)
     ]
     print_report("fluid allocator — link utilization", "\n".join(loads))
+
+
+def _fabric_workload():
+    """64 six-hop flows over a k=4 fat tree (96 directed fabric links)."""
+    from repro.net.routing import EcmpRouter
+    from repro.net.topology import Topology
+
+    topo = Topology.fat_tree(4, host_capacity=gbps(100))
+    router = EcmpRouter(topo)
+    hosts = [node.name for node in topo.hosts()]
+    flows = []
+    for i in range(64):
+        src = hosts[i % len(hosts)]
+        dst = hosts[(i * 5 + 3) % len(hosts)]
+        if src == dst:
+            dst = hosts[(i * 5 + 4) % len(hosts)]
+        flows.append(
+            Flow(
+                flow_id=f"x{i}",
+                src=src,
+                dst=dst,
+                links=list(router.route(src, dst, f"x{i}")),
+                weight=1.0 + (i % 3),
+                priority=i % 2,
+            )
+        )
+    return flows
+
+
+def test_fluid_allocator_fabric(benchmark):
+    """Wide fat-tree incidence: feasible fill, cost tracked in the JSON."""
+    flows = _fabric_workload()
+    allocator = FluidAllocator()
+    allocation = benchmark(allocator.allocate, flows)
+    assert len(allocation.rates) == len(flows)
+    assert all(rate > 0 for rate in allocation.rates.values())
+    for link, load in allocation.link_loads.items():
+        assert load <= link.capacity * (1 + 1e-9), link.name
+    hops = sum(len(flow.links) for flow in flows) / len(flows)
+    benchmark.extra_info["flows"] = len(flows)
+    benchmark.extra_info["mean_hops"] = hops
+    print_report(
+        "fluid allocator — fat-tree fabric incidence",
+        f"flows: {len(flows)}  mean hops: {hops:.2f}  "
+        f"links touched: {len(allocation.link_loads)}",
+    )

@@ -11,7 +11,7 @@ fair-sharing pathology (Figure 2a) is not specific to DCQCN.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,12 +24,16 @@ from ..faults.runtime import (  # simlint: disable=ARCH001 - same inversion as a
     MODE_NORMAL,
     build_warp,
     capacity_windows,
+    link_capacity_windows,
     single_link,
 )
 from ..sim.trace import TimeSeries
 from ..switches.queues import FluidQueue
 from ..units import gbps, kib, mbps
 from .sender_bank import activation_tick, clamp_drain, fold_traj, sample_ticks
+
+if TYPE_CHECKING:
+    from ..net.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -188,7 +192,17 @@ class AimdResult:
 
 
 class AimdFluidSimulator:
-    """Fixed-step AIMD senders sharing one drop-tail bottleneck."""
+    """Fixed-step AIMD senders sharing one drop-tail bottleneck.
+
+    Passing ``topology`` switches to **multi-link fabric mode**: every
+    sender and job must then carry a ``route`` (a tuple of link names),
+    each link runs its own drop-tail queue at ``buffer_bytes``, and a
+    source backs off when *any* link on its route drops — the loss
+    analog of reacting to the most congested hop. AIMD has no span
+    fast-forward on a fabric: both engines run the same per-tick
+    reference loop (the model is loss-driven and deterministic, so
+    scalar/vector equivalence is structural).
+    """
 
     def __init__(
         self,
@@ -198,6 +212,7 @@ class AimdFluidSimulator:
         sample_interval: float = 250e-6,
         engine: str = "vector",
         faults: Optional[InjectionSchedule] = None,
+        topology: Optional["Topology"] = None,
     ) -> None:
         if dt <= 0 or sample_interval < dt:
             raise ConfigError("need dt > 0 and sample_interval >= dt")
@@ -207,18 +222,30 @@ class AimdFluidSimulator:
             )
         self.engine = engine
         self.capacity = capacity
+        self.buffer_bytes = buffer_bytes
         self.queue = FluidQueue(capacity, max_occupancy=buffer_bytes)
         self.dt = dt
         self.sample_interval = sample_interval
         self.faults = faults
         self._fault_warps_installed = False
-        single_link(faults)  # reject multi-link schedules up front
+        self.topology = topology
+        self.fabric = None
+        if topology is None:
+            single_link(faults)  # reject multi-link schedules up front
         self._senders: List[_AimdSender] = []
         self._jobs: List[OnOffAimdJob] = []
+        self._sender_routes: List[Tuple[str, ...]] = []
+        self._job_routes: List[Tuple[str, ...]] = []
         self._chunk = 256
 
-    def add_sender(self, name: str, params: Optional[AimdParams] = None) -> None:
+    def add_sender(
+        self,
+        name: str,
+        params: Optional[AimdParams] = None,
+        route: Sequence[str] = (),
+    ) -> None:
         """Register a long-lived AIMD sender."""
+        self._sender_routes.append(self._check_route(name, route))
         self._senders.append(_AimdSender(name, params or AimdParams()))
 
     def add_job(
@@ -228,14 +255,41 @@ class AimdFluidSimulator:
         comm_bytes: float,
         params: Optional[AimdParams] = None,
         start_offset: float = 0.0,
+        route: Sequence[str] = (),
     ) -> OnOffAimdJob:
         """Register an on-off training job under AIMD control."""
+        self._job_routes.append(self._check_route(name, route))
         job = OnOffAimdJob(
             name, params or AimdParams(), compute_time, comm_bytes,
             start_offset=start_offset,
         )
         self._jobs.append(job)
         return job
+
+    def _check_route(
+        self, name: str, route: Sequence[str]
+    ) -> Tuple[str, ...]:
+        route = tuple(route)
+        if self.topology is None:
+            if route:
+                raise ConfigError(
+                    f"sender {name!r} carries a route but the simulator "
+                    "has no topology; pass topology= to "
+                    "AimdFluidSimulator to enable multi-link routes"
+                )
+        else:
+            if not route:
+                raise ConfigError(
+                    f"sender {name!r} needs a route (tuple of link "
+                    "names) on a topology-backed simulator"
+                )
+            if len(set(route)) != len(route):
+                raise ConfigError(
+                    f"sender {name!r} route visits a link twice: {route}"
+                )
+            for link_name in route:
+                self.topology.link_by_name(link_name)  # raises if unknown
+        return route
 
     def run(self, duration: float) -> AimdResult:
         """Simulate ``duration`` seconds; plain senders always backlogged.
@@ -251,6 +305,8 @@ class AimdFluidSimulator:
         if not self._senders and not self._jobs:
             raise SimulationError("add at least one sender before run()")
         self._install_fault_warps()
+        if self.topology is not None:
+            return self._run_fabric(duration)
         sources = self._senders + self._jobs
         steps = int(round(duration / self.dt))
         samples_every = max(1, int(round(self.sample_interval / self.dt)))
@@ -291,12 +347,114 @@ class AimdFluidSimulator:
         if self.faults is None or self._fault_warps_installed:
             return
         self._fault_warps_installed = True
-        link = single_link(self.faults)
-        links = (link,) if link is not None else ()
-        for job in self._jobs:
+        if self.topology is None:
+            link = single_link(self.faults)
+            default_links = (link,) if link is not None else ()
+            routes = [default_links] * len(self._jobs)
+        else:
+            routes = self._job_routes
+        for job, links in zip(self._jobs, routes):
             warp = build_warp(self.faults, job.name, links)
             if warp is not None:
                 job.install_warp(warp)
+
+    def _run_fabric(self, duration: float) -> AimdResult:
+        """The multi-link per-tick loop (both engines; see class docs).
+
+        Per tick: blocked links (failed, storming) silence every source
+        routed across them — no arrivals, no grow/cut, rates held, jobs'
+        activation clockwork deferred exactly like a skipped scalar
+        ``step``. Unblocked sources inject on every route link; a source
+        then cuts when any of its route links dropped bytes this tick
+        and grows otherwise.
+        """
+        from .link_engine import LinkFabric
+
+        dt = self.dt
+        steps = int(round(duration / dt))
+        samples_every = max(1, int(round(self.sample_interval / dt)))
+        sources = self._senders + self._jobs
+        routes = self._sender_routes + self._job_routes
+        if self.fabric is None:
+            extra = (
+                () if self.faults is None
+                else tuple(self.faults.link_names())
+            )
+            self.fabric = LinkFabric(
+                self.topology, routes, extra_links=extra,
+                max_occupancy=self.buffer_bytes,
+            )
+        fabric = self.fabric
+        index_routes = [
+            tuple(fabric.index[name] for name in route) for route in routes
+        ]
+        n_senders = len(self._senders)
+        queues = fabric.queues
+        modes = fabric.modes
+        n_links = len(queues)
+        rows_t: List[float] = []
+        rows_v: List[List[float]] = []
+        blocked = [False] * n_links
+        arrivals = [0.0] * n_links
+        dropped_before = [0.0] * n_links
+        for window in link_capacity_windows(
+            self.faults, steps, dt, fabric.base_capacities()
+        ):
+            fabric.apply_window(window.modes)
+            for step_index in range(window.start, window.end):
+                now = step_index * dt
+                for link in range(n_links):
+                    blocked[link] = modes[link] != MODE_NORMAL
+                    arrivals[link] = 0.0
+                    dropped_before[link] = queues[link].dropped_bytes
+                stepped: List[object] = []
+                for column, source in enumerate(sources):
+                    route = index_routes[column]
+                    skip = False
+                    for link in route:
+                        if blocked[link]:
+                            skip = True
+                            break
+                    if skip:
+                        continue
+                    if column < n_senders:
+                        rate = source.rate
+                    else:
+                        rate = source.step(now, dt, 0.0) / dt
+                    stepped.append((source, route))
+                    for link in route:
+                        arrivals[link] += rate
+                for link in range(n_links):
+                    if modes[link] == MODE_FREEZE:
+                        continue
+                    # Storming links see zero arrivals (every source
+                    # crossing them was skipped) and simply drain.
+                    queues[link].step(arrivals[link], dt)
+                lossy = [
+                    queues[link].dropped_bytes > dropped_before[link]
+                    for link in range(n_links)
+                ]
+                for source, route in stepped:
+                    hit = False
+                    for link in route:
+                        if lossy[link]:
+                            hit = True
+                            break
+                    if hit:
+                        source.cut()
+                    else:
+                        source.grow(dt)
+                if (step_index + 1) % samples_every == 0:
+                    rows_t.append((step_index + 1) * dt)
+                    rows_v.append([source.rate for source in sources])
+        fabric.restore()
+        result = AimdResult(duration=duration)
+        for column, source in enumerate(sources):
+            result.rate_series[source.name] = TimeSeries.from_arrays(
+                source.name, rows_t, [row[column] for row in rows_v]
+            )
+        result.timelines = {job.name: job.timeline for job in self._jobs}
+        return result
 
     def _set_capacity(self, capacity: float) -> None:
         """Point both capacity views at the window's effective value."""

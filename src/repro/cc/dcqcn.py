@@ -27,7 +27,7 @@ simulator uses as static weights.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,9 @@ from ..switches.queues import FluidQueue
 from ..telemetry import session as _telemetry_session
 from ..telemetry.trace import KIND_CC_RATE
 from ..units import gbps, mbps
+
+if TYPE_CHECKING:
+    from ..net.topology import Topology
 
 #: Default rate-increase timer in the paper's testbed.
 DEFAULT_TIMER = 125e-6
@@ -301,16 +304,21 @@ class DcqcnResult:
 
     Attributes:
         rate_series: Per-sender sending-rate samples (bytes/s).
-        queue_series: Bottleneck queue occupancy samples (bytes).
+        queue_series: Bottleneck queue occupancy samples (bytes). On a
+            multi-link fabric this is the elementwise maximum across
+            links — the most congested hop at each sample.
         duration: Simulated seconds.
         timelines: Canonical iteration timelines of every on-off job
             (plain long-lived senders have none).
+        link_queue_series: Per-link occupancy samples, keyed by link
+            name (empty on single-bottleneck runs).
     """
 
     rate_series: Dict[str, TimeSeries] = field(default_factory=dict)
     queue_series: TimeSeries = field(default_factory=lambda: TimeSeries("queue"))
     duration: float = 0.0
     timelines: Dict[str, JobTimeline] = field(default_factory=dict)
+    link_queue_series: Dict[str, TimeSeries] = field(default_factory=dict)
 
     def timeline(self, name: str) -> JobTimeline:
         """One on-off job's canonical timeline."""
@@ -348,6 +356,15 @@ class DcqcnFluidSimulator:
     below ``pfc_resume_threshold``. DCQCN's whole purpose is to keep the
     queue short enough that PFC rarely fires; the ``pfc_pause_seconds``
     counter measures how well it succeeds.
+
+    Passing ``topology`` switches the simulator to **multi-link fabric
+    mode**: every sender must then carry a ``route`` — a tuple of link
+    names resolved against the topology (e.g. from
+    :meth:`repro.net.topology.Topology.fat_tree`) — each link runs its
+    own queue, marker and PFC state, and a sender reacts to the most
+    congested hop on its route (see :mod:`repro.cc.link_engine`). Fault
+    schedules may then target any named fabric link instead of just the
+    single bottleneck.
     """
 
     def __init__(
@@ -361,6 +378,7 @@ class DcqcnFluidSimulator:
         telemetry: Optional["_telemetry_session.Telemetry"] = None,
         engine: str = "vector",
         faults: Optional[InjectionSchedule] = None,
+        topology: Optional["Topology"] = None,
     ) -> None:
         if dt <= 0 or sample_interval < dt:
             raise ConfigError("need dt > 0 and sample_interval >= dt")
@@ -371,7 +389,11 @@ class DcqcnFluidSimulator:
         self.engine = engine
         self.faults = faults
         self._fault_warps_installed = False
-        single_link(faults)  # reject multi-link schedules up front
+        self.topology = topology
+        self.routes: List[Tuple[str, ...]] = []
+        self.fabric = None
+        if topology is None:
+            single_link(faults)  # reject multi-link schedules up front
         self.telemetry = _telemetry_session.resolve(telemetry)
         self.capacity = capacity
         self.marker = marker if marker is not None else RedEcnMarker()
@@ -399,17 +421,48 @@ class DcqcnFluidSimulator:
         params: DcqcnParams,
         rng: np.random.Generator,
         data_bytes: Optional[float] = None,
+        route: Sequence[str] = (),
     ) -> DcqcnSender:
-        """Register a sender whose traffic crosses the bottleneck."""
+        """Register a sender whose traffic crosses the bottleneck.
+
+        In fabric mode ``route`` names the links the sender's traffic
+        traverses, in order, resolved against the simulator's topology.
+        """
         sender = DcqcnSender(name, params, rng, data_bytes)
-        self.senders.append(sender)
+        self._register(sender, route)
         return sender
 
-    def add_source(self, source) -> None:
+    def add_source(self, source, route: Sequence[str] = ()) -> None:
         """Register any traffic source implementing the sender protocol
         (``name``, ``rate``, ``done``, ``step(now, dt, p)``) — e.g. an
-        :class:`OnOffDcqcnJob`."""
+        :class:`OnOffDcqcnJob`. In fabric mode ``route`` names the links
+        the source's traffic traverses."""
+        self._register(source, route)
+
+    def _register(self, source, route: Sequence[str]) -> None:
+        route = tuple(route)
+        if self.topology is None:
+            if route:
+                raise ConfigError(
+                    f"sender {source.name!r} carries a route but the "
+                    "simulator has no topology; pass topology= to "
+                    "DcqcnFluidSimulator to enable multi-link routes"
+                )
+        else:
+            if not route:
+                raise ConfigError(
+                    f"sender {source.name!r} needs a route (tuple of "
+                    "link names) on a topology-backed simulator"
+                )
+            if len(set(route)) != len(route):
+                raise ConfigError(
+                    f"sender {source.name!r} route visits a link twice: "
+                    f"{route}"
+                )
+            for link_name in route:
+                self.topology.link_by_name(link_name)  # raises if unknown
         self.senders.append(source)
+        self.routes.append(route)
 
     def run(self, duration: float) -> DcqcnResult:
         """Simulate ``duration`` seconds and return sampled traces.
@@ -425,6 +478,20 @@ class DcqcnFluidSimulator:
             raise SimulationError("add at least one sender before run()")
         self._install_fault_warps()
         emit_fault_events(self.telemetry, self.faults)
+        if self.topology is not None:
+            from .link_engine import (
+                LinkSenderBank,
+                build_fabric,
+                run_scalar_fabric,
+            )
+
+            if self.fabric is None:
+                self.fabric = build_fabric(self)
+            if self.engine == "vector":
+                bank = LinkSenderBank.build(self)
+                if bank is not None:
+                    return bank.run(duration)
+            return run_scalar_fabric(self, duration)
         if self.engine == "vector":
             from .sender_bank import SenderBank
 
@@ -436,15 +503,20 @@ class DcqcnFluidSimulator:
     def _install_fault_warps(self) -> None:
         """Attach per-job warps (stragglers, skew, latency spikes) once.
 
-        All traffic in this tier crosses the single bottleneck, so the
-        schedule's one link (if any) applies to every on-off job.
+        On the single bottleneck the schedule's one link (if any)
+        applies to every on-off job; on a fabric each job sees exactly
+        the links its route traverses.
         """
         if self.faults is None or self._fault_warps_installed:
             return
         self._fault_warps_installed = True
-        link = single_link(self.faults)
-        links = (link,) if link is not None else ()
-        for sender in self.senders:
+        if self.topology is None:
+            link = single_link(self.faults)
+            default_links = (link,) if link is not None else ()
+            routes = [default_links] * len(self.senders)
+        else:
+            routes = self.routes
+        for sender, links in zip(self.senders, routes):
             if isinstance(sender, OnOffSource):
                 warp = build_warp(self.faults, sender.name, links)
                 if warp is not None:

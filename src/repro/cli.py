@@ -40,6 +40,7 @@ from .experiments import (
     ablations,
     crossfidelity,
     extensions,
+    fattree,
     figure1,
     figure2,
     figure3,
@@ -87,6 +88,8 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], None]]] = {
               sweep.main),
     "robustness": ("fault injection: where the sliding effect collapses",
                    robustness.main),
+    "fattree": ("fat-tree fabric: placement audit + multi-link rotation",
+                fattree.main),
 }
 
 

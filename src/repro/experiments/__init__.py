@@ -22,6 +22,7 @@ Table 1   five groups, fair vs unfair, verdicts      :mod:`.table1`
 (valid.)  raw-DCQCN cross-fidelity check             :mod:`.crossfidelity`
 §5        cluster-level / multi-tenancy / tuning     :mod:`.extensions`
 (survey)  population compatibility sweep             :mod:`.sweep`
+§5        fat-tree fabric placement + rotation       :mod:`.fattree`
 ========  =========================================  =======================
 """
 
@@ -39,6 +40,7 @@ from . import (
     scheduler_exp,
     crossfidelity,
     extensions,
+    fattree,
     sweep,
 )
 
@@ -56,5 +58,6 @@ __all__ = [
     "scheduler_exp",
     "crossfidelity",
     "extensions",
+    "fattree",
     "sweep",
 ]

@@ -23,11 +23,13 @@ from .runtime import (
     MODE_FREEZE,
     MODE_NORMAL,
     MODE_STORM,
+    FabricWindow,
     JobWarp,
     Window,
     build_warp,
     capacity_windows,
     emit_fault_events,
+    link_capacity_windows,
     quantize_tick,
     single_link,
 )
@@ -47,11 +49,13 @@ __all__ = [
     "MODE_FREEZE",
     "MODE_NORMAL",
     "MODE_STORM",
+    "FabricWindow",
     "JobWarp",
     "Window",
     "build_warp",
     "capacity_windows",
     "emit_fault_events",
+    "link_capacity_windows",
     "quantize_tick",
     "single_link",
 ]

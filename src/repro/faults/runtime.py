@@ -19,8 +19,8 @@ Two mechanisms cover every tier:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigError
 from .events import (
@@ -100,6 +100,30 @@ def capacity_windows(
     events = [] if schedule is None else schedule.capacity_events(
         single_link(schedule)
     )
+    spans = _event_spans(events, steps, dt, base_capacity)
+    windows: List[Window] = []
+    cursor = 0
+    for span in spans:
+        if span.start > cursor:
+            windows.append(Window(
+                cursor, span.start, MODE_NORMAL, base_capacity
+            ))
+        windows.append(span)
+        cursor = span.end
+    if cursor < steps or not windows:
+        windows.append(Window(cursor, steps, MODE_NORMAL, base_capacity))
+    return windows
+
+
+def _event_spans(
+    events, steps: int, dt: float, base_capacity: float
+) -> List[Window]:
+    """One link's capacity events quantized into sorted mode spans.
+
+    The shared per-link half of :func:`capacity_windows` and
+    :func:`link_capacity_windows`: gap tiling (and, for the multi-link
+    variant, cross-link boundary merging) happens in the callers.
+    """
     spans: List[Window] = []
     for event in events:
         start = min(max(quantize_tick(event.start, dt), 0), steps)
@@ -115,17 +139,79 @@ def capacity_windows(
         else:  # PfcStorm — the queue still drains at base capacity.
             spans.append(Window(start, end, MODE_STORM, base_capacity))
     spans.sort(key=lambda w: w.start)
-    windows: List[Window] = []
-    cursor = 0
-    for span in spans:
-        if span.start > cursor:
-            windows.append(Window(
-                cursor, span.start, MODE_NORMAL, base_capacity
-            ))
-        windows.append(span)
-        cursor = span.end
-    if cursor < steps or not windows:
-        windows.append(Window(cursor, steps, MODE_NORMAL, base_capacity))
+    return spans
+
+
+@dataclass(frozen=True)
+class FabricWindow:
+    """One span of ticks ``[start, end)`` with per-link fault modes.
+
+    Attributes:
+        start: First tick index of the span (inclusive).
+        end: One past the last tick index (exclusive).
+        modes: Link name -> ``(mode, effective_capacity)`` for every
+            link whose schedule addresses this span; links absent from
+            the mapping run ``MODE_NORMAL`` at their base capacity.
+    """
+
+    start: int
+    end: int
+    modes: Dict[str, Tuple[str, float]] = field(default_factory=dict)
+
+
+def link_capacity_windows(
+    schedule: Optional[InjectionSchedule],
+    steps: int,
+    dt: float,
+    capacities: Mapping[str, float],
+) -> List[FabricWindow]:
+    """Partition ``[0, steps)`` into per-link fault windows.
+
+    The multi-link generalization of :func:`capacity_windows`:
+    ``capacities`` maps every fabric link name to its base capacity, the
+    schedule may address any subset of them, and the returned windows
+    merge all scheduled links' quantized boundaries so that within one
+    window every link holds a single mode. An empty schedule yields one
+    all-normal window — the unfaulted path stays bit-identical.
+
+    Raises :class:`~repro.errors.ConfigError` when the schedule targets
+    a link outside ``capacities``.
+    """
+    names = [] if schedule is None else [
+        name
+        for name in schedule.link_names()
+        if schedule.capacity_events(name)
+    ]
+    unknown = [name for name in names if name not in capacities]
+    if unknown:
+        raise ConfigError(
+            f"fault schedule targets unknown link(s) {unknown}; "
+            f"fabric links are {sorted(capacities)}"
+        )
+    spans_by_link: Dict[str, List[Window]] = {}
+    cut_set = {0, steps}
+    for name in names:
+        spans = _event_spans(
+            schedule.capacity_events(name), steps, dt, capacities[name]
+        )
+        spans_by_link[name] = spans
+        for span in spans:
+            cut_set.add(span.start)
+            cut_set.add(span.end)
+    cuts = sorted(tick for tick in cut_set if 0 <= tick <= steps)
+    windows: List[FabricWindow] = []
+    for start, end in zip(cuts, cuts[1:]):
+        if end <= start:
+            continue
+        modes: Dict[str, Tuple[str, float]] = {}
+        for name in names:
+            for span in spans_by_link[name]:
+                if span.start <= start < span.end:
+                    modes[name] = (span.mode, span.capacity)
+                    break
+        windows.append(FabricWindow(start, end, modes))
+    if not windows:
+        windows.append(FabricWindow(0, steps))
     return windows
 
 

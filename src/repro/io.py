@@ -567,8 +567,13 @@ def simulation_result_from_dict(data: Dict[str, Any]) -> SimulationResult:
 # ---------------------------------------------------------------------------
 
 def dcqcn_result_to_dict(result: Any) -> Dict[str, Any]:
-    """Serialize a :class:`repro.cc.dcqcn.DcqcnResult`."""
-    return {
+    """Serialize a :class:`repro.cc.dcqcn.DcqcnResult`.
+
+    The per-link queue series of fabric runs are emitted only when
+    present, so single-bottleneck result documents are byte-identical
+    to the pre-fabric format.
+    """
+    document = {
         "rate_series": {
             name: time_series_to_dict(series)
             for name, series in sorted(result.rate_series.items())
@@ -580,6 +585,12 @@ def dcqcn_result_to_dict(result: Any) -> Dict[str, Any]:
             for name, timeline in sorted(result.timelines.items())
         },
     }
+    if result.link_queue_series:
+        document["link_queue_series"] = {
+            name: time_series_to_dict(series)
+            for name, series in sorted(result.link_queue_series.items())
+        }
+    return document
 
 
 def dcqcn_result_from_dict(data: Dict[str, Any]) -> Any:
@@ -596,6 +607,10 @@ def dcqcn_result_from_dict(data: Dict[str, Any]) -> Any:
         timelines={
             name: timeline_from_dict(entry)
             for name, entry in data.get("timelines", {}).items()
+        },
+        link_queue_series={
+            name: time_series_from_dict(entry)
+            for name, entry in data.get("link_queue_series", {}).items()
         },
     )
 
@@ -634,8 +649,13 @@ def _decode_option(value: Any) -> Any:
 
 
 def sender_spec_to_dict(sender: Any) -> Dict[str, Any]:
-    """Serialize a fluid-backend sender spec."""
-    return {
+    """Serialize a fluid-backend sender spec.
+
+    ``route`` is emitted only when set: routeless (single-bottleneck)
+    sender documents — and therefore existing spec content hashes —
+    stay byte-identical to the pre-fabric format.
+    """
+    document = {
         "name": sender.name,
         "timer": sender.timer,
         "data_bytes": sender.data_bytes,
@@ -644,6 +664,9 @@ def sender_spec_to_dict(sender: Any) -> Dict[str, Any]:
         "start_offset": sender.start_offset,
         "stream": sender.stream,
     }
+    if sender.route:
+        document["route"] = list(sender.route)
+    return document
 
 
 def sender_spec_from_dict(data: Dict[str, Any]) -> Any:
@@ -667,6 +690,7 @@ def sender_spec_from_dict(data: Dict[str, Any]) -> Any:
         ),
         start_offset=float(data.get("start_offset", 0.0)),
         stream=data.get("stream", ""),
+        route=tuple(data.get("route", ())),
     )
 
 

@@ -20,7 +20,7 @@ its cap during filling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..errors import AllocationError
 from .flows import Flow
@@ -97,19 +97,38 @@ class FluidAllocator:
         Every unfrozen flow grows at ``weight * theta``; at each step we
         find the smallest ``theta`` increment that saturates a link or hits
         a flow's rate cap, freeze the affected flows, and repeat.
+
+        Path membership (``link in flow.links``) is resolved once up front
+        into a link -> flow-index incidence map; the fill rounds then touch
+        only incident flows, which keeps wide fabrics (hundreds of links,
+        long paths) out of the O(links x flows x path-length) trap. The
+        incidence lists preserve flow order, so the per-link weight sums
+        accumulate in the same order as the naive scan and the resulting
+        rates are bit-identical.
         """
         rates: Dict[Flow, float] = {flow: 0.0 for flow in flows}
-        frozen: set[Flow] = set()
         remaining = {link: cap for link, cap in capacities.items()}
 
-        while len(frozen) < len(flows):
-            active = [f for f in flows if f not in frozen]
+        # One pass over every flow's path: per-link incident flow indices
+        # (deduplicated, in flow order) and per-flow membership sets.
+        incident: Dict[Link, List[int]] = {link: [] for link in remaining}
+        for index, flow in enumerate(flows):
+            on_path: set[Link] = set()
+            for link in flow.links:
+                if link in incident and link not in on_path:
+                    incident[link].append(index)
+                    on_path.add(link)
+
+        frozen = [False] * len(flows)
+        n_frozen = 0
+        while n_frozen < len(flows):
+            active = [i for i in range(len(flows)) if not frozen[i]]
             # Per-link active weight, computed once per fill round and
             # reused when subtracting usage below.
             active_weight: Dict[Link, float] = {}
             for link in remaining:
                 active_weight[link] = sum(
-                    f.weight for f in active if link in f.links
+                    flows[i].weight for i in incident[link] if not frozen[i]
                 )
             # Smallest theta increment that saturates some constraint.
             best_delta: Optional[float] = None
@@ -120,7 +139,8 @@ class FluidAllocator:
                 delta = cap / weight
                 if best_delta is None or delta < best_delta:
                     best_delta = delta
-            for flow in active:
+            for i in active:
+                flow = flows[i]
                 if flow.rate_cap is None:
                     continue
                 headroom = flow.rate_cap - rates[flow]
@@ -136,29 +156,32 @@ class FluidAllocator:
                 )
             best_delta = max(best_delta, 0.0)
 
-            for flow in active:
-                rates[flow] += flow.weight * best_delta
+            for i in active:
+                rates[flows[i]] += flows[i].weight * best_delta
             for link in remaining:
                 used = best_delta * active_weight[link]
                 remaining[link] = max(0.0, remaining[link] - used)
 
             # Freeze flows on saturated links or at their caps.
-            newly_frozen: set[Flow] = set()
-            for flow in active:
+            newly_frozen: set[int] = set()
+            for i in active:
+                flow = flows[i]
                 if flow.rate_cap is not None and (
                     rates[flow] >= flow.rate_cap * (1 - _REL_EPS)
                 ):
                     rates[flow] = min(rates[flow], flow.rate_cap)
-                    newly_frozen.add(flow)
+                    newly_frozen.add(i)
             for link, cap in remaining.items():
                 if cap <= capacities[link] * _REL_EPS:
-                    for flow in active:
-                        if link in flow.links:
-                            newly_frozen.add(flow)
+                    for i in incident[link]:
+                        if not frozen[i]:
+                            newly_frozen.add(i)
             if not newly_frozen:
                 # Numerical safety net: freeze everything rather than spin.
                 newly_frozen = set(active)
-            frozen |= newly_frozen
+            for i in sorted(newly_frozen):
+                frozen[i] = True
+            n_frozen += len(newly_frozen)
         return rates
 
     @staticmethod

@@ -10,6 +10,8 @@ evaluation context:
 * :meth:`Topology.single_switch` — a rack: N hosts under one ToR.
 * :meth:`Topology.leaf_spine` — a multi-rack cluster for the scheduler
   experiments, with configurable oversubscription.
+* :meth:`Topology.fat_tree` — a three-tier k-ary fat tree with named
+  edge/agg/core uplinks, the shape for cluster-scale multi-link runs.
 """
 
 from __future__ import annotations
@@ -93,6 +95,7 @@ class Topology:
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._rack_cache: Optional[Dict[str, str]] = None
+        self._links_by_name: Dict[str, Link] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -130,10 +133,18 @@ class Topology:
         if (a, b) in self._links:
             raise TopologyError(f"duplicate link {a}->{b}")
         forward = Link(a, b, capacity, name=name)
-        self._links[(a, b)] = forward
+        reverse: Optional[Link] = None
         if bidirectional and (b, a) not in self._links:
             reverse_name = f"{name}_rev" if name else ""
-            self._links[(b, a)] = Link(b, a, capacity, name=reverse_name)
+            reverse = Link(b, a, capacity, name=reverse_name)
+        for link in (forward, reverse):
+            if link is not None and link.name in self._links_by_name:
+                raise TopologyError(f"duplicate link name {link.name!r}")
+        self._links[(a, b)] = forward
+        self._links_by_name[forward.name] = forward
+        if reverse is not None:
+            self._links[(b, a)] = reverse
+            self._links_by_name[reverse.name] = reverse
         self._rack_cache = None
         return forward
 
@@ -156,11 +167,16 @@ class Topology:
             raise TopologyError(f"no link {src}->{dst}") from None
 
     def link_by_name(self, name: str) -> Link:
-        """Look up a link by its stable name (e.g. ``"L1"``)."""
-        for link in self._links.values():
-            if link.name == name:
-                return link
-        raise TopologyError(f"no link named {name!r}")
+        """Look up a link by its stable name (e.g. ``"L1"``).
+
+        O(1): ``add_link`` maintains a name index (and rejects duplicate
+        names, so the mapping is unambiguous), mirroring the ``rack_of``
+        memoization.
+        """
+        try:
+            return self._links_by_name[name]
+        except KeyError:
+            raise TopologyError(f"no link named {name!r}") from None
 
     def has_link(self, src: str, dst: str) -> bool:
         """Whether the directed link ``src -> dst`` exists."""
@@ -284,6 +300,68 @@ class Topology:
                 host = f"h{rack}_{host_index}"
                 topo.add_node(host, NodeKind.HOST)
                 topo.add_link(host, tor, host_capacity)
+        return topo
+
+    @classmethod
+    def fat_tree(
+        cls,
+        k: int,
+        host_capacity: float = gbps(50),
+        uplink_capacity: Optional[float] = None,
+        core_capacity: Optional[float] = None,
+    ) -> "Topology":
+        """A three-tier k-ary fat tree (Al-Fares et al.).
+
+        ``k`` pods, each with ``k/2`` edge (ToR) and ``k/2`` aggregation
+        switches; ``(k/2)**2`` core switches; ``k/2`` hosts per edge switch
+        — ``k**3/4`` hosts total. Aggregation switch ``a`` of every pod
+        connects to core switches ``a*k/2 .. (a+1)*k/2 - 1``, so ECMP over
+        shortest paths spreads inter-pod traffic across the core.
+
+        Naming: hosts ``h{pod}_{edge}_{i}``, edge switches
+        ``edge{pod}_{e}`` (rack granularity for placement), aggregation
+        switches ``agg{pod}_{a}``, cores ``core{c}``. Uplinks carry stable
+        names — ``up_{pod}_{e}_{a}`` for edge->agg and ``core_{pod}_{a}_{c}``
+        for agg->core — so fault schedules and per-link audits can target
+        any tier. ``uplink_capacity`` and ``core_capacity`` default to
+        ``host_capacity`` (non-blocking at equal rates; lower them to model
+        oversubscription).
+        """
+        if k < 2 or k % 2 != 0:
+            raise TopologyError(f"fat_tree needs an even k >= 2, got {k}")
+        if uplink_capacity is None:
+            uplink_capacity = host_capacity
+        if core_capacity is None:
+            core_capacity = uplink_capacity
+        half = k // 2
+        topo = cls()
+        for core in range(half * half):
+            topo.add_node(f"core{core}", NodeKind.CORE)
+        for pod in range(k):
+            for agg in range(half):
+                topo.add_node(f"agg{pod}_{agg}", NodeKind.SPINE)
+                for port in range(half):
+                    core = agg * half + port
+                    topo.add_link(
+                        f"agg{pod}_{agg}",
+                        f"core{core}",
+                        core_capacity,
+                        name=f"core_{pod}_{agg}_{core}",
+                    )
+            for edge in range(half):
+                tor = f"edge{pod}_{edge}"
+                topo.add_node(tor, NodeKind.TOR)
+                for agg in range(half):
+                    topo.add_link(
+                        tor,
+                        f"agg{pod}_{agg}",
+                        uplink_capacity,
+                        name=f"up_{pod}_{edge}_{agg}",
+                    )
+                for index in range(half):
+                    host = f"h{pod}_{edge}_{index}"
+                    topo.add_node(host, NodeKind.HOST)
+                    topo.add_link(host, tor, host_capacity)
         return topo
 
     def rack_of(self, host: str) -> Optional[str]:

@@ -24,11 +24,11 @@ the experiment module still resolve its backend.
 from __future__ import annotations
 
 import importlib
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Mapping, Optional, Protocol, Tuple
 
 from ..errors import ConfigError, SimulationError
 from ..faults.events import RateChange
-from ..faults.runtime import build_warp, emit_fault_events, single_link
+from ..faults.runtime import build_warp, emit_fault_events
 from ..net.phasesim import (
     JobRun,
     PhaseLevelSimulator,
@@ -51,6 +51,30 @@ from .spec import (
 #: Name of the shared bottleneck link in generated dumbbells — the
 #: canonical constant lives in :mod:`repro.net.topology`.
 BOTTLENECK_LINK = BOTTLENECK
+
+
+def _reject_fabric_faults(spec: RunSpec, backend: str, remedy: str) -> None:
+    """Refuse fault schedules that address links a single-bottleneck run
+    does not have, naming the offending links and the multi-link path.
+
+    Only called on specs *without* a topology — with one, the schedule
+    flows through to the fabric engines, which validate every link name
+    against the topology themselves.
+    """
+    if spec.faults is None:
+        return
+    bad = [
+        name for name in spec.faults.link_names()
+        if name != BOTTLENECK_LINK
+    ]
+    if bad:
+        raise ConfigError(
+            f"{backend} backend without a topology models a single "
+            f"bottleneck named {BOTTLENECK_LINK!r}, but the fault "
+            f"schedule targets link(s) {bad}; set RunSpec.topology "
+            f"(e.g. Topology.fat_tree) and {remedy} to run multi-link "
+            "fault schedules"
+        )
 
 
 class Backend(Protocol):
@@ -180,6 +204,12 @@ class FluidBackend:
     repeats across scenarios continues the same generator, reproducing
     the exact randomness consumption of the original fair-then-unfair
     experiment protocol.
+
+    Without a topology the spec describes the classic single-bottleneck
+    run. With ``spec.topology`` set, every sender must carry a
+    ``route`` (link names) and the simulator switches to the multi-link
+    fabric engines in :mod:`repro.cc.link_engine`; fault schedules may
+    then target any fabric link.
     """
 
     name = "fluid"
@@ -195,12 +225,10 @@ class FluidBackend:
             raise ConfigError("fluid backend needs at least one scenario")
         if spec.duration <= 0:
             raise ConfigError("fluid backend needs a positive duration")
-        fault_link = single_link(spec.faults)
-        if fault_link not in (None, BOTTLENECK_LINK):
-            raise ConfigError(
-                "fluid backend models a single bottleneck named "
-                f"{BOTTLENECK_LINK!r}; the fault schedule targets "
-                f"{fault_link!r}"
+        if spec.topology is None:
+            _reject_fabric_faults(
+                spec, self.name,
+                "give each sender a route (SenderSpec.route)",
             )
         options = spec.options_dict()
         capacity = spec.capacity or gbps(50)
@@ -209,12 +237,18 @@ class FluidBackend:
         scenarios: Dict[str, FluidScenarioResult] = {}
         for scenario in spec.scenarios:
             sim_kwargs = {"capacity": capacity}
+            if spec.topology is not None:
+                sim_kwargs["topology"] = spec.topology
             if "dt" in options:
                 sim_kwargs["dt"] = options["dt"]
             if "sample_interval" in options:
                 sim_kwargs["sample_interval"] = options["sample_interval"]
             if "engine" in options:
                 sim_kwargs["engine"] = options["engine"]
+            if "pfc_pause_threshold" in options:
+                sim_kwargs["pfc_pause_threshold"] = options[
+                    "pfc_pause_threshold"
+                ]
             if spec.faults is not None:
                 sim_kwargs["faults"] = spec.faults
             sim = DcqcnFluidSimulator(**sim_kwargs)
@@ -228,6 +262,7 @@ class FluidBackend:
                         sender_params,
                         rng,
                         data_bytes=sender.data_bytes,
+                        route=sender.route,
                     )
                 else:
                     if sender.comm_bytes is None:
@@ -243,7 +278,7 @@ class FluidBackend:
                         start_offset=sender.start_offset,
                     )
                     jobs[sender.name] = job
-                    sim.add_source(job)
+                    sim.add_source(job, route=sender.route)
             trace = sim.run(spec.duration)
             scenarios[scenario.name] = FluidScenarioResult(
                 trace=trace,
@@ -275,14 +310,17 @@ class _EngineJob:
 
 
 class EngineBackend:
-    """Low-fidelity on-off model on a single shared bottleneck.
+    """Low-fidelity on-off model over one bottleneck or a routed fabric.
 
-    Jobs alternate compute and communication; communicating jobs split
-    the bottleneck proportionally to their policy weight (plain
-    :class:`~repro.cc.fair.FairSharing` or
-    :class:`~repro.cc.weighted.StaticWeighted`). On a dumbbell this is
-    exactly the phase backend's allocation, at a fraction of the cost —
-    no routing, no per-link bookkeeping, no priorities.
+    Jobs alternate compute and communication. Without a topology,
+    communicating jobs split a single shared bottleneck proportionally
+    to their policy weight (plain :class:`~repro.cc.fair.FairSharing`
+    or :class:`~repro.cc.weighted.StaticWeighted`) — on a dumbbell this
+    is exactly the phase backend's allocation, at a fraction of the
+    cost. With ``spec.topology`` set, jobs become ECMP-routed flows
+    allocated by the weighted max-min
+    :class:`~repro.net.fluid.FluidAllocator`, so each job's rate is set
+    by its most constrained hop and faults may target any fabric link.
     """
 
     name = "engine"
@@ -299,27 +337,15 @@ class EngineBackend:
             )
         return float(weight_for_job(job_id))
 
-    def execute(self, spec: RunSpec) -> RunResult:
-        if not spec.jobs:
-            raise ConfigError("engine backend needs job specs")
-        if spec.n_iterations < 1:
-            raise ConfigError("engine backend needs n_iterations >= 1")
-        fault_link = single_link(spec.faults)
-        if fault_link not in (None, BOTTLENECK_LINK):
-            raise ConfigError(
-                "engine backend models a single bottleneck named "
-                f"{BOTTLENECK_LINK!r}; the fault schedule targets "
-                f"{fault_link!r}"
-            )
-        capacity = spec.capacity or EFFECTIVE_BOTTLENECK
-        # Mutable holder: fault boundary events rebind the bottleneck's
-        # effective capacity mid-run (closures below read cap[0]).
-        cap = [capacity]
-        streams = RandomStreams(spec.seed)
-        sim = Simulator()
-        load = StepFunction(0.0, name=f"load:{BOTTLENECK_LINK}")
+    def _build_jobs(
+        self,
+        spec: RunSpec,
+        streams: RandomStreams,
+        routes: Mapping[str, Tuple[str, ...]],
+    ) -> List[_EngineJob]:
+        """Job book-keeping shared by both tiers; ``routes`` maps each
+        job to the link names its fault warp watches."""
         offsets = spec.start_offsets_dict()
-
         jobs: List[_EngineJob] = []
         for job_spec in spec.jobs:
             run = JobRun(
@@ -331,11 +357,38 @@ class EngineBackend:
                 rng=streams.get(f"job:{job_spec.job_id}"),
             )
             warp = build_warp(
-                spec.faults, job_spec.job_id, (BOTTLENECK_LINK,)
+                spec.faults, job_spec.job_id, routes[job_spec.job_id]
             )
             if warp is not None:
                 run.lifecycle.warp = warp
-            jobs.append(_EngineJob(run, self._weight(spec, job_spec.job_id)))
+            jobs.append(
+                _EngineJob(run, self._weight(spec, job_spec.job_id))
+            )
+        return jobs
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        if not spec.jobs:
+            raise ConfigError("engine backend needs job specs")
+        if spec.n_iterations < 1:
+            raise ConfigError("engine backend needs n_iterations >= 1")
+        if spec.topology is not None:
+            return self._execute_fabric(spec)
+        _reject_fabric_faults(
+            spec, self.name,
+            "options['placements'] = ((job_id, src_host, dst_host), ...)",
+        )
+        capacity = spec.capacity or EFFECTIVE_BOTTLENECK
+        # Mutable holder: fault boundary events rebind the bottleneck's
+        # effective capacity mid-run (closures below read cap[0]).
+        cap = [capacity]
+        streams = RandomStreams(spec.seed)
+        sim = Simulator()
+        load = StepFunction(0.0, name=f"load:{BOTTLENECK_LINK}")
+        jobs = self._build_jobs(
+            spec,
+            streams,
+            {job.job_id: (BOTTLENECK_LINK,) for job in spec.jobs},
+        )
 
         active: List[_EngineJob] = []
         rates: Dict[int, float] = {}
@@ -433,6 +486,193 @@ class EngineBackend:
         result = SimulationResult(
             jobs={job.run.job_id: job.run for job in jobs},
             link_loads={BOTTLENECK_LINK: load},
+            duration=end_time,
+        )
+        return RunResult(
+            spec_hash=safe_content_hash(spec),
+            backend=self.name,
+            label=spec.label,
+            phase=result,
+        )
+
+    def _execute_fabric(self, spec: RunSpec) -> RunResult:
+        """Multi-link tier: ECMP-routed flows over ``spec.topology``.
+
+        ``options["placements"]`` binds each job to its
+        ``(src_host, dst_host)`` endpoints; the route is resolved once
+        by deterministic ECMP (salted with the spec seed) and every
+        membership change re-runs the weighted max-min allocator over
+        the communicating flows. Fault capacity events rescale the
+        affected links for the duration of their window — link
+        capacities are restored afterwards even if the run raises.
+        """
+        from ..net.flows import Flow
+        from ..net.fluid import FluidAllocator
+        from ..net.routing import EcmpRouter
+
+        options = spec.options_dict()
+        placements = options.get("placements")
+        if not placements:
+            raise ConfigError(
+                "engine backend with a topology needs "
+                "options['placements'] = "
+                "((job_id, src_host, dst_host), ...)"
+            )
+        endpoints = {
+            str(job_id): (str(src), str(dst))
+            for job_id, src, dst in placements
+        }
+        missing = sorted(
+            job.job_id for job in spec.jobs
+            if job.job_id not in endpoints
+        )
+        if missing:
+            raise ConfigError(
+                f"placements are missing job(s) {missing}"
+            )
+        router = EcmpRouter(spec.topology, salt=spec.seed)
+        routes = {}
+        for job_spec in spec.jobs:
+            src, dst = endpoints[job_spec.job_id]
+            routes[job_spec.job_id] = tuple(
+                router.route(src, dst, job_spec.job_id)
+            )
+        fabric_links = {}
+        for job_spec in spec.jobs:
+            for link in routes[job_spec.job_id]:
+                fabric_links.setdefault(link.name, link)
+
+        streams = RandomStreams(spec.seed)
+        sim = Simulator()
+        loads = {
+            name: StepFunction(0.0, name=f"load:{name}")
+            for name in fabric_links
+        }
+        jobs = self._build_jobs(
+            spec,
+            streams,
+            {
+                job_id: tuple(link.name for link in links)
+                for job_id, links in routes.items()
+            },
+        )
+        allocator = FluidAllocator()
+
+        active: List[_EngineJob] = []
+        rates: Dict[int, float] = {}
+        finish_events: Dict[int, object] = {}
+        last_update = [0.0]
+
+        def advance_progress() -> None:
+            dt = sim.now - last_update[0]
+            if dt > 0:
+                for job in active:
+                    job.run.lifecycle.credit(
+                        rates.get(id(job), 0.0) * dt
+                    )
+            last_update[0] = sim.now
+
+        def reallocate() -> None:
+            advance_progress()
+            flows = [
+                Flow(
+                    flow_id=job.run.job_id,
+                    src=endpoints[job.run.job_id][0],
+                    dst=endpoints[job.run.job_id][1],
+                    links=list(routes[job.run.job_id]),
+                    weight=job.weight,
+                    job_id=job.run.job_id,
+                )
+                for job in active
+            ]
+            allocation = allocator.allocate(flows)
+            for job, flow in zip(active, flows):
+                rate = allocation.rate_of(flow)
+                rates[id(job)] = rate
+                job.run.rate_trace.set(sim.now, rate)
+                event = finish_events.pop(id(job), None)
+                if event is not None:
+                    sim.cancel(event)
+                if rate > 0:
+                    remaining = job.run.lifecycle.remaining_bytes
+                    finish_events[id(job)] = sim.schedule(
+                        max(remaining, 0.0) / rate, finish_comm, job
+                    )
+            for name, link in fabric_links.items():
+                loads[name].set(
+                    sim.now, allocation.link_loads.get(link, 0.0)
+                )
+
+        def begin_iteration(job: _EngineJob) -> None:
+            compute_time = job.run.lifecycle.begin_iteration(sim.now)
+            sim.schedule(compute_time, begin_comm, job)
+
+        def begin_comm(job: _EngineJob) -> None:
+            job.run.lifecycle.begin_comm(sim.now)
+            job.active = True
+            active.append(job)
+            reallocate()
+
+        def finish_comm(job: _EngineJob) -> None:
+            finish_events.pop(id(job), None)
+            advance_progress()
+            run = job.run
+            active.remove(job)
+            job.active = False
+            rates.pop(id(job), None)
+            run.rate_trace.set(sim.now, 0.0)
+            if run.lifecycle.has_more_segments:
+                compute_time = run.lifecycle.advance_segment(sim.now)
+                sim.schedule(compute_time, begin_comm, job)
+            else:
+                run.lifecycle.close_iteration(sim.now)
+                if not run.done:
+                    begin_iteration(job)
+            reallocate()
+
+        def apply_fault(link, value: float) -> None:
+            link.capacity = value
+            reallocate()
+
+        base_caps: Dict[str, float] = {}
+        if spec.faults is not None:
+            from ..telemetry import session as _telemetry_session
+
+            emit_fault_events(
+                _telemetry_session.resolve(None), spec.faults
+            )
+            for name in spec.faults.link_names():
+                # Unknown names raise TopologyError up front, before
+                # any event fires.
+                spec.topology.link_by_name(name)
+            for event in spec.faults.capacity_events():
+                link = spec.topology.link_by_name(event.link)
+                base_caps.setdefault(link.name, link.capacity)
+                if isinstance(event, RateChange):
+                    faulted = base_caps[link.name] * event.factor
+                else:
+                    # LinkFailure / PfcStorm both degrade to a dead
+                    # span in this tier (no PFC model to storm).
+                    faulted = 0.0
+                sim.schedule_at(
+                    event.start, apply_fault, link, faulted, priority=-1
+                )
+                sim.schedule_at(
+                    event.end, apply_fault, link,
+                    base_caps[link.name], priority=-1,
+                )
+
+        for job in jobs:
+            sim.schedule_at(job.run.start_offset, begin_iteration, job)
+        try:
+            end_time = sim.run(until=spec.until)
+        finally:
+            for name, capacity in base_caps.items():
+                spec.topology.link_by_name(name).capacity = capacity
+
+        result = SimulationResult(
+            jobs={job.run.job_id: job.run for job in jobs},
+            link_loads=loads,
             duration=end_time,
         )
         return RunResult(

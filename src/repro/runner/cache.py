@@ -27,7 +27,10 @@ from .spec import RunResult, RunSpec
 #: iteration lists; older entries self-heal as misses.
 #: v3: specs serialize their ``faults`` injection schedule, so hashes
 #: computed before the field existed must not alias faulted runs.
-CACHE_VERSION = 3
+#: v4: fabric runs — sender routes in specs, per-link queue series in
+#: fluid results; pre-fabric entries lack the link series and must not
+#: be replayed for topology-backed specs.
+CACHE_VERSION = 4
 
 
 @dataclass

@@ -69,6 +69,11 @@ class SenderSpec:
     :class:`~repro.sim.rng.RandomStreams`, so a stream reused across
     scenarios continues its sequence — exactly how the original
     experiments consumed randomness.
+
+    ``route`` names the fabric links the sender's traffic traverses, in
+    order; it requires the spec to carry a ``topology`` and switches the
+    fluid backend to the multi-link fabric engine
+    (:mod:`repro.cc.link_engine`). Empty on single-bottleneck runs.
     """
 
     name: str
@@ -78,6 +83,7 @@ class SenderSpec:
     comm_bytes: Optional[float] = None
     start_offset: float = 0.0
     stream: str = ""
+    route: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)

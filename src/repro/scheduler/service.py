@@ -424,8 +424,13 @@ def run_service_spec(spec) -> "Any":
       :func:`repro.workloads.traces.trace_arrivals`) for trace mode.
     * ``placement`` — ``"random"`` / ``"consolidated"`` /
       ``"compatibility-aware"`` (+ ``max_candidates``).
-    * ``n_racks`` / ``hosts_per_rack`` / ``gpus_per_host`` — topology
-      when ``spec.topology`` is None (a leaf-spine is built).
+    * ``topology`` — fabric recipe when ``spec.topology`` is None:
+      ``"leaf-spine"`` (default; shaped by ``n_racks`` /
+      ``hosts_per_rack``) or ``"fat-tree"`` (shaped by ``fat_tree_k``).
+    * ``gpus_per_host`` — GPUs per host in the built cluster.
+    * ``cluster_level`` — have the compatibility-aware policy demand the
+      §5 cluster-wide unified-circle audit (one rotation per job across
+      *all* its links) rather than per-link checks.
     * ``queue_limit`` — admission queue bound.
     """
     from ..net.topology import Topology
@@ -441,11 +446,23 @@ def run_service_spec(spec) -> "Any":
     capacity = spec.capacity or gbps(42)
     topology = spec.topology
     if topology is None:
-        topology = Topology.leaf_spine(
-            n_racks=int(options.get("n_racks", 8)),
-            hosts_per_rack=int(options.get("hosts_per_rack", 2)),
-            host_capacity=capacity,
-        )
+        recipe = str(options.get("topology", "leaf-spine"))
+        if recipe == "leaf-spine":
+            topology = Topology.leaf_spine(
+                n_racks=int(options.get("n_racks", 8)),
+                hosts_per_rack=int(options.get("hosts_per_rack", 2)),
+                host_capacity=capacity,
+            )
+        elif recipe == "fat-tree":
+            topology = Topology.fat_tree(
+                k=int(options.get("fat_tree_k", 4)),
+                host_capacity=capacity,
+            )
+        else:
+            raise SimulationError(
+                f"unknown topology recipe {recipe!r} "
+                "(expected 'leaf-spine' or 'fat-tree')"
+            )
     cluster = ClusterState(
         topology, gpus_per_host=int(options.get("gpus_per_host", 4))
     )
@@ -460,6 +477,7 @@ def run_service_spec(spec) -> "Any":
         policy = CompatibilityAwarePlacement(
             checker=checker,
             max_candidates=int(options.get("max_candidates", 16)),
+            cluster_level=bool(options.get("cluster_level", False)),
         )
     else:
         raise SimulationError(f"unknown placement policy {placement!r}")

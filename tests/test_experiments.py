@@ -8,6 +8,7 @@ import pytest
 
 from repro.experiments import (
     ablations,
+    fattree,
     figure1,
     figure2,
     figure3,
@@ -279,3 +280,50 @@ class TestSchedulerExperiment:
 
     def test_report_renders(self, outcomes):
         assert "placement" in scheduler_exp.report(outcomes)
+
+
+class TestFatTreeExperiment:
+    """The multi-link fabric study: placement + rotation on fat_tree(4)."""
+
+    @pytest.fixture(scope="class")
+    def placement(self):
+        return fattree.run_placement(n_iterations=30)
+
+    @pytest.fixture(scope="class")
+    def rotation(self):
+        return fattree.run_rotation()
+
+    def test_compat_aware_wins_on_fabric(self, placement):
+        by_name = {o.policy_name: o for o in placement}
+        compat = by_name["compatibility-aware"]
+        for outcome in placement:
+            assert compat.mean_slowdown <= outcome.mean_slowdown + 1e-9
+
+    def test_compat_aware_passes_cluster_audit(self, placement):
+        by_name = {o.policy_name: o for o in placement}
+        compat = by_name["compatibility-aware"]
+        assert compat.cluster_compatible
+        assert compat.mixed_links == 0
+        assert compat.mean_slowdown == pytest.approx(1.0, abs=0.02)
+
+    def test_random_mixes_and_pays(self, placement):
+        by_name = {o.policy_name: o for o in placement}
+        random = by_name["random"]
+        assert random.mixed_links > 0
+        assert not random.cluster_compatible
+        assert random.mean_slowdown > 1.1
+
+    def test_staggered_rotation_beats_aligned(self, rotation):
+        by_name = {o.scenario: o for o in rotation}
+        assert (
+            by_name["staggered"].mean_iteration_ms
+            < by_name["aligned"].mean_iteration_ms
+        )
+        # A compatible rotation keeps the shared downlinks queue-free.
+        assert by_name["staggered"].worst_queue_kib == pytest.approx(0.0)
+        assert by_name["aligned"].worst_queue_kib > 100.0
+
+    def test_report_renders(self, placement, rotation):
+        rendered = fattree.report(placement, rotation)
+        assert "fat-tree" in rendered
+        assert "staggered" in rendered

@@ -182,3 +182,72 @@ class TestFlowValidation:
         f = _flow("f", [link])
         assert f.traverses(link)
         assert not f.traverses(Link("x", "y", 1.0, name="other"))
+
+
+class TestFabricIncidence:
+    """Multi-hop paths on fat-tree-shaped incidence (ISSUE 9 satellite)."""
+
+    def _fabric_flows(self):
+        from repro.net.routing import Router
+        from repro.net.topology import Topology
+
+        topo = Topology.fat_tree(4, host_capacity=gbps(50))
+        router = Router(topo)
+        pairs = [
+            ("f0", "h0_0_0", "h1_0_0"),
+            ("f1", "h0_0_1", "h1_0_1"),
+            ("f2", "h2_0_0", "h1_1_0"),
+            ("f3", "h0_1_0", "h0_0_0"),
+        ]
+        flows = []
+        for fid, src, dst in pairs:
+            links = list(router.route(src, dst))
+            flows.append(
+                Flow(flow_id=fid, src=src, dst=dst, links=links,
+                     job_id=fid)
+            )
+        return topo, flows
+
+    def test_six_hop_paths_allocate(self):
+        topo, flows = self._fabric_flows()
+        alloc = FluidAllocator().allocate(flows)
+        assert len(alloc.rates) == len(flows)
+        assert all(rate > 0 for rate in alloc.rates.values())
+
+    def test_no_fabric_link_oversubscribed(self):
+        topo, flows = self._fabric_flows()
+        alloc = FluidAllocator().allocate(flows)
+        for link, load in alloc.link_loads.items():
+            assert load <= link.capacity * (1 + 1e-9), link.name
+
+    def test_shared_uplink_bottleneck(self):
+        # f0 and f1 leave the same rack; the single-shortest-path router
+        # sends both up the same edge->agg uplink, so they split it.
+        topo, flows = self._fabric_flows()
+        alloc = FluidAllocator().allocate(flows[:2])
+        up = topo.link_by_name("up_0_0_0")
+        assert alloc.link_loads[up] == pytest.approx(up.capacity)
+        assert alloc.rate_of(flows[0]) == pytest.approx(up.capacity / 2)
+
+    def test_strict_priority_with_midpath_cap(self):
+        # High class capped mid-path: the low class must soak up the
+        # remainder on the shared link, not be starved to zero.
+        shared = Link("a", "b", gbps(40), name="shared")
+        tail = Link("b", "c", gbps(10), name="tail")
+        hi = _flow("hi", [shared, tail], priority=2)
+        lo = _flow("lo", [shared], priority=1)
+        alloc = FluidAllocator().allocate([hi, lo])
+        assert alloc.rate_of(hi) == pytest.approx(gbps(10))
+        assert alloc.rate_of(lo) == pytest.approx(gbps(30))
+
+    def test_zero_capacity_link_freezes_incident_flows(self):
+        # A failed (zero-capacity) fabric link pins its flows at zero
+        # without starving flows elsewhere.
+        dead = Link("a", "b", gbps(10), name="dead")
+        dead.capacity = 0.0
+        live = Link("c", "d", gbps(10), name="live")
+        f_dead = _flow("fd", [dead])
+        f_live = _flow("fl", [live])
+        alloc = FluidAllocator().allocate([f_dead, f_live])
+        assert alloc.rate_of(f_dead) == 0.0
+        assert alloc.rate_of(f_live) == pytest.approx(gbps(10))

@@ -130,6 +130,50 @@ class TestLeafSpine:
             Topology.leaf_spine(n_racks=0, hosts_per_rack=2)
 
 
+class TestFatTree:
+    def test_shape(self):
+        k = 4
+        topo = Topology.fat_tree(k)
+        assert len(topo.hosts()) == k**3 // 4
+        cores = [n for n in topo.nodes if n.kind is NodeKind.CORE]
+        tors = [n for n in topo.nodes if n.kind is NodeKind.TOR]
+        spines = [n for n in topo.nodes if n.kind is NodeKind.SPINE]
+        assert len(cores) == (k // 2) ** 2
+        assert len(tors) == k * (k // 2)
+        assert len(spines) == k * (k // 2)
+
+    def test_named_uplinks_resolve(self):
+        topo = Topology.fat_tree(4)
+        up = topo.link_by_name("up_0_0_0")
+        assert (up.src, up.dst) == ("edge0_0", "agg0_0")
+        core = topo.link_by_name("core_1_1_2")
+        assert (core.src, core.dst) == ("agg1_1", "core2")
+        rev = topo.link_by_name("core_1_1_2_rev")
+        assert (rev.src, rev.dst) == ("core2", "agg1_1")
+
+    def test_rack_of_is_edge_switch(self):
+        topo = Topology.fat_tree(4)
+        assert topo.rack_of("h2_1_0") == "edge2_1"
+        assert topo.rack_of("agg2_1") is None
+
+    def test_tier_capacities(self):
+        topo = Topology.fat_tree(
+            4,
+            host_capacity=gbps(50),
+            uplink_capacity=gbps(40),
+            core_capacity=gbps(30),
+        )
+        assert topo.link_by_name("h0_0_0->edge0_0").capacity == gbps(50)
+        assert topo.link_by_name("up_0_0_0").capacity == gbps(40)
+        assert topo.link_by_name("core_0_0_0").capacity == gbps(30)
+
+    def test_odd_or_tiny_k_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology.fat_tree(3)
+        with pytest.raises(TopologyError):
+            Topology.fat_tree(0)
+
+
 class TestGraphExport:
     def test_graph_has_all_edges(self):
         topo = Topology.dumbbell(hosts_per_side=2)

@@ -16,6 +16,7 @@ from repro.core.timeline import IterationSample, JobTimeline
 from repro.errors import ConfigError
 from repro.experiments import sweep
 from repro.experiments.common import phase_spec
+from repro.faults import InjectionSchedule, LinkFailure, RateChange
 from repro.experiments.sweep import point_specs
 from repro.net.phasesim import PhaseLevelSimulator
 from repro.net.topology import Topology
@@ -420,3 +421,203 @@ class TestSweepNaN:
         second = run_one(spec, cache=True, cache_dir=tmp_path)
         assert math.isnan(first.data["mean_speedup"])
         assert math.isnan(second.data["mean_speedup"])
+
+
+class TestFabricBackends:
+    """The runner's multi-link tier: routed specs over a topology."""
+
+    ROUTES = {
+        "J1": (
+            "h0_0_0->edge0_0", "up_0_0_0", "core_0_0_0",
+            "core_1_0_0_rev", "up_1_0_0_rev", "edge1_0->h1_0_0",
+        ),
+        "J2": (
+            "h0_0_1->edge0_0", "up_0_0_0", "core_0_0_0",
+            "core_1_0_0_rev", "up_1_0_0_rev", "edge1_0->h1_0_1",
+        ),
+    }
+
+    def _fluid_spec(self, engine, faults=None):
+        senders = tuple(
+            SenderSpec(
+                name=name,
+                timer=125e-6,
+                compute_time=0.0011,
+                comm_bytes=0.0013 * 50e9,
+                start_offset=index * 0.0003,
+                route=self.ROUTES[name],
+            )
+            for index, name in enumerate(sorted(self.ROUTES))
+        )
+        return RunSpec(
+            backend="fluid",
+            seed=3,
+            topology=Topology.fat_tree(4),
+            duration=0.02,
+            scenarios=(ScenarioSpec(name="fabric", senders=senders),),
+            options=(("dt", 10e-6), ("engine", engine)),
+            faults=faults,
+        )
+
+    def _engine_fabric_spec(self, faults=None, n_iterations=8):
+        j1, j2 = figure2_vgg19_pair(jitter=0.02)
+        return RunSpec(
+            backend="engine",
+            seed=11,
+            jobs=(j1, j2),
+            policy=FairSharing(),
+            topology=Topology.fat_tree(4),
+            n_iterations=n_iterations,
+            options=(
+                ("placements", (
+                    (j1.job_id, "h0_0_0", "h1_0_0"),
+                    (j2.job_id, "h0_0_1", "h1_0_1"),
+                )),
+            ),
+            faults=faults,
+        )
+
+    # -- fluid ---------------------------------------------------------
+
+    def test_fluid_fabric_engines_agree(self):
+        scalar = execute(self._fluid_spec("scalar"))
+        vector = execute(self._fluid_spec("vector"))
+        docs = []
+        for result in (scalar, vector):
+            document = io.run_result_to_dict(result)
+            # The engine choice rides in options, so the spec hashes
+            # (correctly) differ; the payloads must not.
+            document.pop("spec_hash")
+            docs.append(json.dumps(document, sort_keys=True))
+        assert docs[0] == docs[1]
+        trace = vector.scenario("fabric").trace
+        assert "core_1_0_0_rev" in trace.link_queue_series
+
+    def test_fluid_fabric_honours_multilink_faults(self):
+        faults = InjectionSchedule(events=(
+            LinkFailure("up_0_0_0", 0.005, 0.008),
+        ))
+        clean = execute(self._fluid_spec("vector"))
+        faulted = execute(self._fluid_spec("vector", faults=faults))
+        assert canonical([clean]) != canonical([faulted])
+
+    def test_fabric_spec_round_trips_and_caches(self, tmp_path):
+        spec = self._fluid_spec("vector")
+        assert spec.cacheable()
+        clone = io.run_spec_from_dict(io.run_spec_to_dict(spec))
+        assert clone.content_hash() == spec.content_hash()
+        first = run_many([spec], cache=True, cache_dir=tmp_path)
+        second = run_many([spec], cache=True, cache_dir=tmp_path)
+        assert canonical(second) == canonical(first)
+
+    def test_routeless_sender_document_unchanged(self):
+        plain = io.sender_spec_to_dict(SenderSpec(name="a", timer=125e-6))
+        assert "route" not in plain
+        routed = io.sender_spec_to_dict(
+            SenderSpec(name="a", timer=125e-6, route=("L1",))
+        )
+        assert routed["route"] == ["L1"]
+        clone = io.sender_spec_from_dict(routed)
+        assert clone.route == ("L1",)
+
+    def test_fluid_without_topology_rejects_fabric_faults(self):
+        faults = InjectionSchedule(events=(
+            LinkFailure("up_0_0_0", 0.001, 0.002),
+        ))
+        spec = RunSpec(
+            backend="fluid",
+            duration=0.01,
+            scenarios=(ScenarioSpec(
+                name="s", senders=(SenderSpec(name="a", timer=125e-6),),
+            ),),
+            faults=faults,
+        )
+        with pytest.raises(ConfigError) as excinfo:
+            execute(spec)
+        message = str(excinfo.value)
+        assert "up_0_0_0" in message
+        assert "RunSpec.topology" in message
+        assert "SenderSpec.route" in message
+
+    # -- engine --------------------------------------------------------
+
+    def test_engine_without_topology_rejects_fabric_faults(self):
+        faults = InjectionSchedule(events=(
+            LinkFailure("up_0_0_0", 0.001, 0.002),
+        ))
+        j1, j2 = figure2_vgg19_pair()
+        spec = RunSpec(
+            backend="engine", jobs=(j1, j2), policy=FairSharing(),
+            n_iterations=2, faults=faults,
+        )
+        with pytest.raises(ConfigError) as excinfo:
+            execute(spec)
+        message = str(excinfo.value)
+        assert "up_0_0_0" in message
+        assert "RunSpec.topology" in message
+        assert "placements" in message
+
+    def test_engine_fabric_needs_placements(self):
+        spec = self._engine_fabric_spec().replace(options=())
+        with pytest.raises(ConfigError, match="placements"):
+            execute(spec)
+
+    def test_engine_fabric_runs_and_reports_link_loads(self):
+        result = execute(self._engine_fabric_spec())
+        for run in result.phase.jobs.values():
+            assert run.done
+        loads = result.phase.link_loads
+        for link in self.ROUTES["J1"]:
+            assert link in loads
+        assert max(
+            value for _, value in loads["up_0_0_0"].breakpoints()
+        ) > 0.0
+
+    def test_engine_fabric_agrees_with_single_bottleneck_on_dumbbell(self):
+        j1, j2 = figure2_vgg19_pair(jitter=0.02)
+        capacity = EFFECTIVE_BOTTLENECK
+        base = RunSpec(
+            backend="engine", seed=5, jobs=(j1, j2),
+            policy=FairSharing(), n_iterations=8, capacity=capacity,
+        )
+        dumbbell = Topology.dumbbell(
+            hosts_per_side=2,
+            host_capacity=capacity,
+            bottleneck_capacity=capacity,
+        )
+        fabric = base.replace(
+            topology=dumbbell,
+            options=(
+                ("placements", (
+                    (j1.job_id, "ha0", "hb0"),
+                    (j2.job_id, "ha1", "hb1"),
+                )),
+            ),
+        )
+        single = execute(base)
+        routed = execute(fabric)
+        for job_id in (j1.job_id, j2.job_id):
+            assert io.timeline_to_dict(
+                single.phase.timelines()[job_id]
+            ) == io.timeline_to_dict(routed.phase.timelines()[job_id])
+
+    def test_engine_fabric_fault_slows_jobs_and_restores_capacity(self):
+        spec = self._engine_fabric_spec()
+        topology = spec.topology
+        base = topology.link_by_name("up_0_0_0").capacity
+        faults = InjectionSchedule(events=(
+            RateChange("up_0_0_0", 0.05, 1.0, 0.2),
+        ))
+        clean = execute(spec)
+        faulted = execute(spec.replace(faults=faults))
+        assert faulted.phase.duration > clean.phase.duration
+        assert topology.link_by_name("up_0_0_0").capacity == base
+
+    def test_engine_fabric_rejects_unknown_fault_link(self):
+        from repro.errors import TopologyError
+
+        faults = InjectionSchedule(events=(
+            LinkFailure("no_such_link", 0.01, 0.02),
+        ))
+        with pytest.raises(TopologyError, match="no_such_link"):
+            execute(self._engine_fabric_spec(faults=faults))

@@ -396,3 +396,60 @@ class TestServiceBackend:
         assert spec.cacheable()
         [result] = run_many([spec], jobs=1, cache=False)
         assert result.data["submitted"] == 8
+
+
+class TestFatTreeService:
+    """The service backend on a three-tier fat-tree fabric."""
+
+    @staticmethod
+    def _spec(seed=0, **extra):
+        options = {
+            "n_arrivals": 20,
+            "mean_interarrival_s": 15.0,
+            "mean_lifetime_s": 120.0,
+            "placement": "compatibility-aware",
+            "topology": "fat-tree",
+            "fat_tree_k": 4,
+            "gpus_per_host": 4,
+        }
+        options.update(extra)
+        return RunSpec(
+            backend="service",
+            label=f"svc-fattree-{seed}",
+            seed=seed,
+            options=tuple(sorted(options.items())),
+        )
+
+    def test_fat_tree_recipe_places_jobs(self):
+        [result] = run_many([self._spec()], jobs=1, cache=False)
+        assert result.data["admitted"] > 0
+
+    def test_cluster_level_audit_is_deterministic(self):
+        spec = self._spec(cluster_level=True)
+        assert spec.cacheable()
+        [first] = run_many([spec], jobs=1, cache=False)
+        [second] = run_many([spec], jobs=1, cache=False)
+        assert first.data == second.data
+        assert first.data["admitted"] > 0
+
+    def test_unknown_topology_recipe_rejected(self):
+        with pytest.raises(SimulationError, match="topology recipe"):
+            run_many(
+                [self._spec(topology="torus")], jobs=1, cache=False
+            )
+
+    def test_compat_placement_on_fat_tree_cluster(self):
+        topology = Topology.fat_tree(4, host_capacity=CAP)
+        cluster = ClusterState(
+            topology, gpus_per_host=1, router=Router(topology)
+        )
+        # Racks are the fat tree's edge switches.
+        racks = set(cluster.hosts_by_rack())
+        assert "edge0_0" in racks and len(racks) == 8
+        policy = CompatibilityAwarePlacement(cluster_level=True)
+        hosts = policy.place(cluster, _job("a", 100, 40, workers=3), 3)
+        assert len(hosts) == 3
+        cluster.place(_job("a", 100, 40, workers=3), hosts)
+        # Next job must spill across racks and still place cleanly.
+        more = policy.place(cluster, _job("b", 100, 35, workers=4), 4)
+        assert len(more) == 4
