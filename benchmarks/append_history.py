@@ -16,6 +16,15 @@ The commit defaults to ``$GITHUB_SHA`` (set in CI) or ``git rev-parse
 --short HEAD``. Re-running for the same commit replaces that commit's
 entries instead of duplicating them, so the CI bench legs can invoke it
 idempotently and developers can refresh their PR's row before pushing.
+
+With ``--check`` the script additionally acts as the perf-trend guard:
+each new median is compared against the most recent history entry for
+the same bench from a *different* commit, and the run fails when any
+bench slowed down by more than :data:`REGRESSION_TOLERANCE`. The
+history is still appended first, so the failing leg's log and artifact
+show exactly the numbers that tripped the guard. Intentional slowdowns
+opt out by putting ``[bench-regression-ok]`` in the commit message (or
+passing ``--allow-regression`` / setting ``$BENCH_ALLOW_REGRESSION``).
 """
 
 from __future__ import annotations
@@ -28,6 +37,19 @@ import sys
 from pathlib import Path
 
 PREFIX = "BENCH_"
+
+#: ``--check`` fails when a bench's median exceeds the previous
+#: commit's by more than this factor (>25% slowdown).
+REGRESSION_TOLERANCE = 1.25
+
+#: Medians below this are timer-noise-dominated micro-benches (some in
+#: the history sit at microseconds); ``--check`` skips them rather
+#: than fail CI on scheduler jitter.
+MIN_COMPARABLE_S = 1e-3
+
+#: Commit-message marker that waives the regression check for one
+#: intentional perf change.
+OPT_OUT_MARKER = "[bench-regression-ok]"
 
 
 def resolve_commit(explicit: str | None) -> str:
@@ -92,11 +114,67 @@ def append(history_path: Path, commit: str, records: list[dict]) -> dict:
     return history
 
 
+def find_regressions(
+    history: dict, records: list[dict], commit: str
+) -> list[str]:
+    """Complaints for records slower than their last distinct-commit
+    entry by more than :data:`REGRESSION_TOLERANCE`."""
+    complaints = []
+    for record in records:
+        median = record.get("median_s")
+        if not median or median < MIN_COMPARABLE_S:
+            continue
+        prior = next(
+            (
+                entry
+                for entry in reversed(history.get("entries", []))
+                if entry["bench"] == record["bench"]
+                and entry["commit"] != commit
+                and entry.get("median_s")
+            ),
+            None,
+        )
+        if prior is None:
+            continue
+        ratio = median / prior["median_s"]
+        if ratio > REGRESSION_TOLERANCE:
+            complaints.append(
+                f"{record['bench']}: {median:.4f}s vs "
+                f"{prior['median_s']:.4f}s @ {prior['commit']} "
+                f"({ratio:.2f}x > {REGRESSION_TOLERANCE}x)"
+            )
+    return complaints
+
+
+def regression_allowed() -> bool:
+    """Whether an intentional slowdown was declared for this commit."""
+    if os.environ.get("BENCH_ALLOW_REGRESSION"):
+        return True
+    out = subprocess.run(
+        ["git", "log", "-1", "--format=%B"],
+        capture_output=True,
+        text=True,
+    )
+    return out.returncode == 0 and OPT_OUT_MARKER in out.stdout
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--artifacts-dir", default="bench-artifacts")
     parser.add_argument("--history", default="bench_history.json")
     parser.add_argument("--commit", default=None)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail on a >{REGRESSION_TOLERANCE}x median regression "
+        "vs the previous commit's entry for the same bench",
+    )
+    parser.add_argument(
+        "--allow-regression",
+        action="store_true",
+        help="waive --check for an intentional perf change "
+        f"(equivalent: {OPT_OUT_MARKER!r} in the commit message)",
+    )
     args = parser.parse_args(argv)
 
     artifacts_dir = Path(args.artifacts_dir)
@@ -115,6 +193,19 @@ def main(argv: list[str] | None = None) -> int:
         f"{args.history}: {len(history['entries'])} entries "
         f"({len(records)} appended @ {commit}: {names})"
     )
+    if args.check:
+        complaints = find_regressions(history, records, commit)
+        if complaints and not (
+            args.allow_regression or regression_allowed()
+        ):
+            for complaint in complaints:
+                print(f"perf regression: {complaint}", file=sys.stderr)
+            print(
+                f"opt out with {OPT_OUT_MARKER!r} in the commit "
+                "message if the slowdown is intentional",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -112,6 +112,7 @@ def run_jobs(
             )
         ],
         telemetry=telemetry,
+        batch=True,
     )
     return result.phase
 

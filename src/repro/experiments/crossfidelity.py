@@ -144,7 +144,9 @@ def run(
     engine: str = "vector",
 ) -> CrossFidelityResult:
     """Run both scenarios at fine granularity and summarize."""
-    [result] = run_many([_spec(duration, dt, seed, engine=engine)])
+    [result] = run_many(
+        [_spec(duration, dt, seed, engine=engine)], batch=True
+    )
     return _summarize(result, skip)
 
 
@@ -177,7 +179,7 @@ def dt_sweep(
         )
         for dt in dts
     ]
-    results = run_many(specs)
+    results = run_many(specs, batch=True)
     return [
         DtSweepPoint(dt=dt, result=_summarize(result, skip))
         for dt, result in zip(dts, results)

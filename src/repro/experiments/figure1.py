@@ -102,7 +102,7 @@ def bandwidth_experiment(
             ),
         ),
     )
-    [result] = run_many([spec])
+    [result] = run_many([spec], batch=True)
     fair_trace = result.scenario("fair").trace
     unfair_trace = result.scenario("unfair").trace
     return BandwidthResult(
@@ -188,7 +188,8 @@ def cdf_experiment(
                 seed=seed,
                 label="figure1-cdf-unfair",
             ),
-        ]
+        ],
+        batch=True,
     )
     fair, unfair = fair_result.phase, unfair_result.phase
     paired = PairedRun(fair=fair, unfair=unfair, job_ids=job_ids)

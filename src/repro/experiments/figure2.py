@@ -168,7 +168,8 @@ def run(
                 seed=seed,
                 label="figure2-unfair",
             ),
-        ]
+        ],
+        batch=True,
     )
     return Figure2Result(
         fair=fair_result.phase,

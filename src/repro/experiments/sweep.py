@@ -30,11 +30,14 @@ import numpy as np
 
 from ..telemetry import current
 from ..analysis.report import ascii_table
+from ..cc.dcqcn import AGGRESSIVE_TIMER, DEFAULT_TIMER
 from ..core.circle import JobCircle
 from ..core.optimize import exact_pair_feasible_rotations
 from ..runner import (
     RunResult,
     RunSpec,
+    ScenarioSpec,
+    SenderSpec,
     derive_seed,
     register,
     run_many,
@@ -163,7 +166,8 @@ def run(
 ) -> List[SweepPoint]:
     """Sweep communication fraction and sample pair compatibility."""
     results = run_many(
-        point_specs(fractions, pairs_per_point, same_period, seed)
+        point_specs(fractions, pairs_per_point, same_period, seed),
+        batch=True,
     )
     return [
         SweepPoint(
@@ -173,6 +177,118 @@ def run(
         )
         for result in results
     ]
+
+
+# ---------------------------------------------------------------------------
+# Fluid validation grid — the "verified against the simulator" leg
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FluidGridPoint:
+    """DCQCN-tier validation at one seed.
+
+    Attributes:
+        seed: Replication seed of this grid point.
+        fair_share: Aggressive sender's bandwidth share, equal timers.
+        unfair_share: Its share when its timer is aggressive.
+        gain: ``unfair_share / fair_share`` — the directional payoff
+            the analytic sweep predicts (> 1 when unfairness pays).
+    """
+
+    seed: int
+    fair_share: float
+    unfair_share: float
+    gain: float
+
+
+def fluid_grid_specs(
+    seeds: Sequence[int], duration: float, seed: int = 0
+) -> List[RunSpec]:
+    """One fluid spec per replication seed: a fair/unfair DCQCN pair.
+
+    Every spec shares the default ``dt`` and the given duration, so the
+    whole grid is one batchable group for ``run_many(batch=True)`` —
+    the stacked execution is bit-identical to running each spec alone.
+    """
+    def lineup(name: str, timer_j1: float) -> ScenarioSpec:
+        return ScenarioSpec(
+            name,
+            (
+                SenderSpec(name="J1", timer=timer_j1),
+                SenderSpec(name="J2", timer=DEFAULT_TIMER),
+            ),
+        )
+
+    return [
+        RunSpec(
+            backend="fluid",
+            label=f"sweep-fluid-{replication}",
+            seed=derive_seed(seed, f"sweep:fluid:{replication}"),
+            duration=duration,
+            scenarios=(
+                lineup("fair", DEFAULT_TIMER),
+                lineup("unfair", AGGRESSIVE_TIMER),
+            ),
+        )
+        for replication in seeds
+    ]
+
+
+def fluid_grid(
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    duration: float = 0.15,
+    seed: int = 0,
+    warmup: float = 0.03,
+) -> List[FluidGridPoint]:
+    """Validate the sweep's payoff direction on the DCQCN fluid tier.
+
+    Runs a seeds-replicated fair/unfair grid through
+    ``run_many(batch=True)`` and reports the aggressive sender's
+    bandwidth-share gain per seed.
+    """
+    results = run_many(
+        fluid_grid_specs(seeds, duration, seed), batch=True
+    )
+    points: List[FluidGridPoint] = []
+    for replication, result in zip(seeds, results):
+        shares = {}
+        for scenario in ("fair", "unfair"):
+            trace = result.scenario(scenario).trace
+            j1 = trace.mean_rate("J1", start=warmup)
+            j2 = trace.mean_rate("J2", start=warmup)
+            shares[scenario] = j1 / (j1 + j2)
+        points.append(
+            FluidGridPoint(
+                seed=replication,
+                fair_share=shares["fair"],
+                unfair_share=shares["unfair"],
+                gain=shares["unfair"] / shares["fair"],
+            )
+        )
+    return points
+
+
+def fluid_report(points: Sequence[FluidGridPoint]) -> str:
+    """Render the fluid validation grid."""
+    rows = [
+        (
+            str(p.seed),
+            f"{p.fair_share:.1%}",
+            f"{p.unfair_share:.1%}",
+            f"{p.gain:.2f}x",
+        )
+        for p in points
+    ]
+    mean_gain = float(np.mean([p.gain for p in points]))
+    rows.append(("mean", "", "", f"{mean_gain:.2f}x"))
+    return ascii_table(
+        ["seed", "fair share", "unfair share", "aggressive gain"],
+        rows,
+        title=(
+            "Fluid validation grid — aggressive-timer bandwidth gain "
+            "per replication seed (batched DCQCN runs)"
+        ),
+    )
 
 
 def report(points: Sequence[SweepPoint]) -> str:
@@ -200,12 +316,15 @@ def report(points: Sequence[SweepPoint]) -> str:
 
 
 def main() -> None:
-    """Print the sweep for equal and mixed periods."""
+    """Print the sweep for equal and mixed periods, then the fluid
+    validation grid."""
     with current().span("experiment.sweep"):
         print(report(run(same_period=True)))
         print()
         mixed = run(same_period=False)
         print(report(mixed).replace("equal-period", "mixed-period"))
+        print()
+        print(fluid_report(fluid_grid()))
 
 
 if __name__ == "__main__":

@@ -196,6 +196,71 @@ class PhaseBackend:
 # fluid
 # ---------------------------------------------------------------------------
 
+def build_fluid_scenario_sim(
+    spec: RunSpec,
+    scenario,
+    params,
+    streams: RandomStreams,
+    capacity: float,
+):
+    """Construct the simulator and on-off jobs for one scenario of a
+    fluid spec.
+
+    Shared by :class:`FluidBackend` and the batched grid tier
+    (:mod:`repro.runner.grid`) so both paths build byte-identical
+    simulations: same constructor arguments, same stream lookups in the
+    same order, same sender/job wiring. Returns ``(sim, jobs)`` where
+    ``jobs`` maps sender names to their :class:`OnOffDcqcnJob`.
+    """
+    from ..cc.dcqcn import DcqcnFluidSimulator, OnOffDcqcnJob
+
+    options = spec.options_dict()
+    sim_kwargs = {"capacity": capacity}
+    if spec.topology is not None:
+        sim_kwargs["topology"] = spec.topology
+    if "dt" in options:
+        sim_kwargs["dt"] = options["dt"]
+    if "sample_interval" in options:
+        sim_kwargs["sample_interval"] = options["sample_interval"]
+    if "engine" in options:
+        sim_kwargs["engine"] = options["engine"]
+    if "pfc_pause_threshold" in options:
+        sim_kwargs["pfc_pause_threshold"] = options[
+            "pfc_pause_threshold"
+        ]
+    if spec.faults is not None:
+        sim_kwargs["faults"] = spec.faults
+    sim = DcqcnFluidSimulator(**sim_kwargs)
+    jobs: Dict[str, OnOffDcqcnJob] = {}
+    for sender in scenario.senders:
+        rng = streams.get(sender.stream or f"dcqcn:{sender.name}")
+        sender_params = params.with_timer(sender.timer)
+        if sender.compute_time is None:
+            sim.add_sender(
+                sender.name,
+                sender_params,
+                rng,
+                data_bytes=sender.data_bytes,
+                route=sender.route,
+            )
+        else:
+            if sender.comm_bytes is None:
+                raise ConfigError(
+                    f"on-off sender {sender.name!r} needs comm_bytes"
+                )
+            job = OnOffDcqcnJob(
+                sender.name,
+                sender_params,
+                rng,
+                compute_time=sender.compute_time,
+                comm_bytes=sender.comm_bytes,
+                start_offset=sender.start_offset,
+            )
+            jobs[sender.name] = job
+            sim.add_source(job, route=sender.route)
+    return sim, jobs
+
+
 class FluidBackend:
     """Adapter for the fine-grained DCQCN fluid simulator.
 
@@ -215,11 +280,7 @@ class FluidBackend:
     name = "fluid"
 
     def execute(self, spec: RunSpec) -> RunResult:
-        from ..cc.dcqcn import (
-            DcqcnFluidSimulator,
-            DcqcnParams,
-            OnOffDcqcnJob,
-        )
+        from ..cc.dcqcn import DcqcnParams
 
         if not spec.scenarios:
             raise ConfigError("fluid backend needs at least one scenario")
@@ -230,55 +291,14 @@ class FluidBackend:
                 spec, self.name,
                 "give each sender a route (SenderSpec.route)",
             )
-        options = spec.options_dict()
         capacity = spec.capacity or gbps(50)
         params = DcqcnParams(line_rate=capacity)
         streams = RandomStreams(spec.seed)
         scenarios: Dict[str, FluidScenarioResult] = {}
         for scenario in spec.scenarios:
-            sim_kwargs = {"capacity": capacity}
-            if spec.topology is not None:
-                sim_kwargs["topology"] = spec.topology
-            if "dt" in options:
-                sim_kwargs["dt"] = options["dt"]
-            if "sample_interval" in options:
-                sim_kwargs["sample_interval"] = options["sample_interval"]
-            if "engine" in options:
-                sim_kwargs["engine"] = options["engine"]
-            if "pfc_pause_threshold" in options:
-                sim_kwargs["pfc_pause_threshold"] = options[
-                    "pfc_pause_threshold"
-                ]
-            if spec.faults is not None:
-                sim_kwargs["faults"] = spec.faults
-            sim = DcqcnFluidSimulator(**sim_kwargs)
-            jobs: Dict[str, OnOffDcqcnJob] = {}
-            for sender in scenario.senders:
-                rng = streams.get(sender.stream or f"dcqcn:{sender.name}")
-                sender_params = params.with_timer(sender.timer)
-                if sender.compute_time is None:
-                    sim.add_sender(
-                        sender.name,
-                        sender_params,
-                        rng,
-                        data_bytes=sender.data_bytes,
-                        route=sender.route,
-                    )
-                else:
-                    if sender.comm_bytes is None:
-                        raise ConfigError(
-                            f"on-off sender {sender.name!r} needs comm_bytes"
-                        )
-                    job = OnOffDcqcnJob(
-                        sender.name,
-                        sender_params,
-                        rng,
-                        compute_time=sender.compute_time,
-                        comm_bytes=sender.comm_bytes,
-                        start_offset=sender.start_offset,
-                    )
-                    jobs[sender.name] = job
-                    sim.add_source(job, route=sender.route)
+            sim, jobs = build_fluid_scenario_sim(
+                spec, scenario, params, streams, capacity
+            )
             trace = sim.run(spec.duration)
             scenarios[scenario.name] = FluidScenarioResult(
                 trace=trace,

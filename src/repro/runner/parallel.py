@@ -54,6 +54,12 @@ class RunnerConfig:
     jobs: int = 1
     cache: bool = False
     cache_dir: Path = field(default_factory=_default_cache_dir)
+    #: Default for ``run_many(batch=None)``: drivers that want grid
+    #: batching opt in per call site, so the ambient default stays off.
+    batch: bool = False
+    #: CLI override (``--batch`` / ``--no-batch``): when set it wins
+    #: over both the ambient default and the per-call argument.
+    batch_override: Optional[bool] = None
 
 
 _config = RunnerConfig()
@@ -108,6 +114,7 @@ def run_many(
     cache: Optional[bool] = None,
     cache_dir: Optional[Path] = None,
     telemetry: Optional[Telemetry] = None,
+    batch: Optional[bool] = None,
 ) -> List[RunResult]:
     """Execute ``specs`` and return their results in spec order.
 
@@ -121,6 +128,12 @@ def run_many(
         cache_dir: Cache root; ``None`` takes the ambient config.
         telemetry: Session to merge worker telemetry into; ``None``
             resolves to the ambient session.
+        batch: Whether to stack compatible cache-miss specs into
+            batched grid runs (:mod:`repro.runner.grid`) before
+            falling back to the pool; ``None`` takes the ambient
+            config, and ``RunnerConfig.batch_override`` (the CLI's
+            ``--batch``/``--no-batch``) wins over both. Batched
+            results are bit-identical to per-spec execution.
 
     Specs that fail to pickle (ad-hoc gate closures) silently fall back
     to in-process execution — same results, no fan-out.
@@ -129,6 +142,9 @@ def run_many(
     jobs = config.jobs if jobs is None else jobs
     cache_enabled = config.cache if cache is None else cache
     root = Path(cache_dir) if cache_dir is not None else config.cache_dir
+    batch_enabled = config.batch if batch is None else batch
+    if config.batch_override is not None:
+        batch_enabled = config.batch_override
     session = resolve(telemetry)
 
     specs = list(specs)
@@ -154,19 +170,44 @@ def run_many(
         else:
             pending.append(index)
 
-    if pending:
-        workers = min(jobs, len(pending))
+    # Grid tier: stack compatible cache misses into batched runs. A
+    # group that turns out not to be batchable mid-build falls back to
+    # the per-spec path below — results are bit-identical either way,
+    # so batching is purely a wall-clock decision.
+    batched: set = set()
+    if batch_enabled and len(pending) >= 2:
+        from . import grid as _grid
+
+        for group in _grid.plan_groups(
+            [(i, specs[i]) for i in pending]
+        ):
+            outcome = _grid.execute_batched([specs[i] for i in group])
+            if outcome is None:
+                continue
+            for index, (result, state) in zip(group, outcome):
+                results[index] = result
+                states[index] = state
+            batched.update(group)
+
+    pool_pending = [i for i in pending if i not in batched]
+    if pool_pending:
+        workers = min(jobs, len(pool_pending))
         pool_ok = workers > 1 and _specs_pickle(
-            [specs[i] for i in pending]
+            [specs[i] for i in pool_pending]
         )
         if pool_ok:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(
-                    pool.map(_execute_spec, [specs[i] for i in pending])
+                    pool.map(
+                        _execute_spec,
+                        [specs[i] for i in pool_pending],
+                    )
                 )
         else:
-            outcomes = [_execute_spec(specs[i]) for i in pending]
-        for index, (result, state, elapsed) in zip(pending, outcomes):
+            outcomes = [_execute_spec(specs[i]) for i in pool_pending]
+        for index, (result, state, elapsed) in zip(
+            pool_pending, outcomes
+        ):
             results[index] = result
             states[index] = state
             seconds[index] = elapsed
@@ -197,6 +238,7 @@ def run_many(
         session.counter("runner.executed").inc(len(pending))
         session.counter("runner.cache.hits").inc(hits)
         session.counter("runner.cache.misses").inc(len(pending))
+        session.counter("runner.batched").inc(len(batched))
 
     return [result for result in results if result is not None]
 
